@@ -1,0 +1,81 @@
+"""Figure 11 — cost vs performance under budget constraints.
+
+Regenerates the paper's grid: input-length limits len ∈ {512, 1024, 2048,
+3072} × consistency numbers num ∈ {1, 10, 20, 30, 40}, reporting EM/EX
+and token consumption per query for PURPLE (ChatGPT profile).
+
+Findings to reproduce: accuracy rises with budget with diminishing
+returns past len=2048; consistency numbers stabilize EX; token cost
+scales with both knobs.
+"""
+
+import pytest
+
+from benchmarks.common import pct, print_table
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT
+
+LENS = (512, 1024, 2048, 3072)
+NUMS = (1, 10, 20, 30, 40)
+SUBSET = 150
+
+
+@pytest.fixture(scope="session")
+def fig11_grid(zoo, corpus):
+    grid = {}
+    for length in LENS:
+        for num in NUMS:
+            purple = zoo.purple(
+                CHATGPT, input_budget=length, consistency_n=num
+            )
+            grid[(length, num)] = evaluate_approach(
+                purple, corpus.dev, limit=SUBSET
+            )
+    return grid
+
+
+def test_fig11_budget(benchmark, fig11_grid, record):
+    def run():
+        return {
+            f"{length}/{num}": (
+                fig11_grid[(length, num)].em,
+                fig11_grid[(length, num)].ex,
+                fig11_grid[(length, num)].tokens_per_query(),
+            )
+            for length in LENS
+            for num in NUMS
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    for metric_idx, metric in ((0, "EM"), (1, "EX"), (2, "tokens/query")):
+        rows = []
+        for length in LENS:
+            cells = [table[f"{length}/{num}"][metric_idx] for num in NUMS]
+            if metric_idx < 2:
+                cells = [pct(c) for c in cells]
+            rows.append((f"len={length}", *cells))
+        print_table(
+            f"Figure 11 — {metric} over (len × num)",
+            ["", *(f"num={n}" for n in NUMS)],
+            rows,
+        )
+    record("fig11", table)
+
+    # Token consumption grows with both knobs.
+    assert table["3072/40"][2] > table["512/1"][2]
+    assert table["3072/40"][2] > table["3072/1"][2]
+    assert table["3072/10"][2] > table["512/10"][2]
+
+    # Bigger budgets help EM up to a saturation point, after which returns
+    # are flat/marginal (the paper sees the knee at 2048; our pruned demo
+    # schemas pack more demonstrations per token, so it arrives earlier).
+    em = lambda l, n: table[f"{l}/{n}"][0]
+    best_em = max(em(l, 30) for l in LENS)
+    assert best_em > em(512, 30)
+    assert em(3072, 30) >= em(512, 30) - 0.02
+    gain_high = em(3072, 30) - em(2048, 30)
+    assert gain_high < best_em - em(512, 30) + 0.02
+
+    # Consistency voting stabilizes execution accuracy.
+    ex = lambda l, n: table[f"{l}/{n}"][1]
+    assert ex(3072, 30) >= ex(3072, 1) - 0.01

@@ -1,0 +1,160 @@
+"""Figure 12 — robustness of the demonstration-selection algorithm.
+
+Left panel: varying p₀ and the Increase-Generalization schedule (the
+paper finds <3% EM and <1.5% EX spread).  Right panel: skeleton noise —
+``masking number = x`` ignores the first x abstraction levels and
+``Drop-y`` removes one predicted skeleton with probability y; EM drops
+with noise but stays competitive even at clause-level-only matching.
+
+Extra ablation (called out in DESIGN.md): per-level contribution — how
+many selected demonstrations come from each abstraction level.
+"""
+
+import pytest
+
+from benchmarks.common import pct, print_table
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT
+
+SUBSET = 150
+
+SCHEDULES = (
+    ("p0=1, Linear-1", {"p0": 1, "generalization": "linear-1"}),
+    ("p0=1, Linear-3", {"p0": 1, "generalization": "linear-3"}),
+    ("p0=2, Linear-1", {"p0": 2, "generalization": "linear-1"}),
+    ("p0=4, Linear-2", {"p0": 4, "generalization": "linear-2"}),
+    ("p0=1, Exp-2", {"p0": 1, "generalization": "exp-2"}),
+)
+
+NOISES = (
+    ("mask=0, Drop-0", {"mask_levels": 0, "drop_skeleton_prob": 0.0}),
+    ("mask=0, Drop-0.5", {"mask_levels": 0, "drop_skeleton_prob": 0.5}),
+    ("mask=1, Drop-0", {"mask_levels": 1, "drop_skeleton_prob": 0.0}),
+    ("mask=2, Drop-0.5", {"mask_levels": 2, "drop_skeleton_prob": 0.5}),
+    ("mask=3, Drop-0", {"mask_levels": 3, "drop_skeleton_prob": 0.0}),
+)
+
+
+@pytest.fixture(scope="session")
+def fig12_reports(zoo, corpus):
+    out = {}
+    for name, overrides in SCHEDULES + NOISES:
+        purple = zoo.purple(CHATGPT, **overrides)
+        out[name] = evaluate_approach(purple, corpus.dev, limit=SUBSET)
+    return out
+
+
+def test_fig12_schedule_robustness(benchmark, fig12_reports, record):
+    table = benchmark.pedantic(
+        lambda: {
+            name: (fig12_reports[name].em, fig12_reports[name].ex)
+            for name, _ in SCHEDULES
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [(n, pct(em), pct(ex)) for n, (em, ex) in table.items()]
+    print_table("Figure 12 (left) — p0 / Increase-Generalization",
+                ["Setting", "EM%", "EX%"], rows)
+    record("fig12_schedules", {k: list(v) for k, v in table.items()})
+
+    ems = [em for em, _ in table.values()]
+    exs = [ex for _, ex in table.values()]
+    # The paper finds <3% EM and <1.5% EX spread.  Our simulated LLM's
+    # positional attention is harsher than a real model's, so the EM
+    # spread is wider here (see EXPERIMENTS.md); EX stays tight.
+    assert max(ems) - min(ems) < 0.10
+    assert max(exs) - min(exs) < 0.04
+
+
+def test_fig12_skeleton_noise(benchmark, fig12_reports, record):
+    table = benchmark.pedantic(
+        lambda: {
+            name: (fig12_reports[name].em, fig12_reports[name].ex)
+            for name, _ in NOISES
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [(n, pct(em), pct(ex)) for n, (em, ex) in table.items()]
+    print_table("Figure 12 (right) — skeleton-prediction noise",
+                ["Setting", "EM%", "EX%"], rows)
+    record("fig12_noise", {k: list(v) for k, v in table.items()})
+
+    clean_em = table["mask=0, Drop-0"][0]
+    worst_em = table["mask=3, Drop-0"][0]
+    # Noise costs EM...
+    assert worst_em <= clean_em + 0.01
+    # ...but clause-level-only matching stays competitive (paper's point).
+    assert worst_em > clean_em - 0.25
+
+
+TAUP_VALUES = (0.3, 0.5, 0.7)
+
+
+def test_taup_sweep(benchmark, zoo, corpus, record):
+    """Extra ablation (DESIGN.md): the pruning threshold τ_p.
+
+    The paper fixes τ_p = 0.5 without a sweep; this checks the choice is
+    uncritical — the trained classifier is well-separated, so EM/EX are
+    stable across a wide band.
+    """
+    from repro.llm import CHATGPT
+
+    def run():
+        out = {}
+        for tau_p in TAUP_VALUES:
+            purple = zoo.purple(CHATGPT, tau_p=tau_p)
+            report = evaluate_approach(purple, corpus.dev, limit=SUBSET)
+            out[tau_p] = (report.em, report.ex)
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(f"tau_p={t}", pct(em), pct(ex)) for t, (em, ex) in table.items()]
+    print_table("Extra — pruning threshold sweep", ["Setting", "EM%", "EX%"], rows)
+    record("taup_sweep", {str(k): list(v) for k, v in table.items()})
+
+    ems = [em for em, _ in table.values()]
+    exs = [ex for _, ex in table.values()]
+    assert max(ems) - min(ems) < 0.05
+    assert max(exs) - min(exs) < 0.04
+
+
+def test_fig12_level_contribution(benchmark, zoo, corpus, record):
+    """Extra ablation: which abstraction level supplies the matches."""
+    from repro.core.selection import select_demonstrations
+    from repro.core.config import PurpleConfig
+
+    purple = zoo.purple(CHATGPT)
+
+    def run():
+        counts = {1: 0, 2: 0, 3: 0, 4: 0}
+        config = PurpleConfig()
+        for ex in corpus.dev.examples[:SUBSET]:
+            db = corpus.dev.database(ex.db_id)
+            schema = purple.pruner.prune(ex.question, db)
+            skeletons = purple.skeleton_module.predict(ex.question, schema)
+            for level in (1, 2, 3, 4):
+                for skeleton in skeletons:
+                    if purple.automaton.match(level, skeleton.tokens):
+                        counts[level] += 1
+                        break
+        end_states = purple.automaton.end_state_counts()
+        return counts, end_states
+
+    counts, end_states = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Per-level automaton matches over the dev subset "
+        "(paper end-state ratio 912:708:363:59)",
+        ["Level", "tasks matched", "distinct end states"],
+        [(lv, counts[lv], end_states[lv]) for lv in (1, 2, 3, 4)],
+    )
+    record("fig12_levels", {"matches": counts, "end_states": end_states})
+
+    # Higher abstraction ⇒ broader matching and fewer distinct states,
+    # mirroring the paper's 912:708:363:59 contraction.  (In this corpus
+    # detail- and keywords-level states can coincide: projection lists
+    # collapse to one placeholder, so levels 1-2 differ less than on
+    # Spider.)
+    assert counts[4] >= counts[3] >= counts[1]
+    assert end_states[1] >= end_states[2] > end_states[3] > end_states[4]

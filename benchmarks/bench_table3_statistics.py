@@ -1,0 +1,41 @@
+"""Table 3 — the statistics of NL2SQL benchmarks.
+
+Regenerates: query counts, database counts, and average NL/SQL lengths
+for the train split, the validation split, and the DK/SYN/Realistic
+variants, next to the paper's Spider numbers.
+"""
+
+from benchmarks.common import PAPER_TABLE3, print_table
+from repro.spider import benchmark_statistics
+
+
+def test_table3_statistics(benchmark, corpus, variants, record):
+    def run():
+        datasets = [
+            ("TRAIN", corpus.train),
+            ("VALIDATION", corpus.dev),
+            ("DK", variants["dk"]),
+            ("REALISTIC", variants["realistic"]),
+            ("SYN", variants["syn"]),
+        ]
+        return [benchmark_statistics(ds).row() for _, ds in datasets]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ["Benchmark", "Queries", "DBs", "Avg NL len", "Avg SQL len"]
+    print_table("Table 3 (measured, synthetic corpus)", header, rows)
+    print_table(
+        "Table 3 (paper, Spider)",
+        header,
+        [list(r) for r in PAPER_TABLE3],
+    )
+    record("table3", {"measured": [list(r) for r in rows]})
+
+    by_name = {r[0]: r for r in rows}
+    # Shape assertions: the same structural relations the paper's table has.
+    assert by_name["spider_train"][1] > by_name["spider_dev"][1]
+    assert by_name["spider_train"][2] > by_name["spider_dev"][2]
+    assert by_name["spider_dev_dk"][1] < by_name["spider_dev"][1]
+    assert by_name["spider_dev_syn"][1] == by_name["spider_dev"][1]
+    for row in rows:
+        assert row[3] > 20  # questions are sentence-length
+        assert row[4] > 20  # SQL is non-trivial

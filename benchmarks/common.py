@@ -1,0 +1,90 @@
+"""Formatting helpers and the paper's reference numbers.
+
+Each bench prints measured values side by side with the numbers the paper
+reports.  Absolute values are not expected to match (synthetic corpus,
+simulated LLM); the *shape* — orderings and rough gaps — is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+
+def fmt_row(cells, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print(fmt_row(header, widths))
+    print(fmt_row(["-" * w for w in widths], widths))
+    for row in rows:
+        print(fmt_row(row, widths))
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:.1f}"
+
+
+# Paper Table 4 (EM%, EX%, TS%) on the Spider validation set.
+PAPER_TABLE4 = {
+    "PICARD": (75.5, 79.3, 69.4),
+    "RASAT": (75.3, 80.5, 70.3),
+    "RESDSQL": (80.5, 84.1, 73.5),
+    "Graphix-T5": (77.1, 81.0, 74.9),
+    "ChatGPT-SQL (ChatGPT)": (37.9, 70.1, 60.1),
+    "C3 (ChatGPT)": (43.1, 81.8, 72.1),
+    "Zero-shot (GPT4)": (42.4, 72.9, 64.9),
+    "Few-shot (GPT4)": (54.3, 76.8, 67.4),
+    "DIN-SQL (GPT4)": (60.1, 82.8, 74.2),
+    "DAIL-SQL (GPT4)": (68.7, 83.6, 76.2),
+    "PURPLE (ChatGPT)": (76.1, 84.8, 80.1),
+    "PURPLE (GPT4)": (80.5, 87.8, 83.3),
+}
+
+# Paper Table 5 (EM%, EX%) — ChatGPT vs GPT4 sensitivity.
+PAPER_TABLE5 = {
+    ("DIN-SQL", "gpt4"): (60.1, 82.8),
+    ("DIN-SQL", "chatgpt"): (43.0, 75.5),
+    ("C3", "gpt4"): (50.7, 82.1),
+    ("C3", "chatgpt"): (43.1, 81.8),
+    ("DAIL-SQL", "gpt4"): (68.7, 83.6),
+    ("DAIL-SQL", "chatgpt"): (65.1, 81.3),
+    ("PURPLE", "gpt4"): (80.5, 87.8),
+    ("PURPLE", "chatgpt"): (76.1, 84.8),
+}
+
+# Paper Table 6 (EM%, EX%) — ablations over PURPLE (ChatGPT).
+PAPER_TABLE6 = {
+    "PURPLE (ChatGPT)": (76.1, 84.8),
+    "-Schema Pruning": (71.2, 83.4),
+    "-Steiner Tree": (75.0, 84.4),
+    "-Demonstration Selection": (59.1, 81.6),
+    "-Database Adaption": (74.7, 81.8),
+    "+Oracle Skeleton": (78.8, 86.8),
+}
+
+# Paper Figure 10 (EM%, EX%) — generalization benchmarks.
+PAPER_FIG10 = {
+    ("PURPLE", "dk"): (61.7, 75.3),
+    ("PURPLE", "syn"): (63.3, 74.0),
+    ("PURPLE", "realistic"): (71.1, 79.9),
+    ("C3", "dk"): (38.5, 70.2),          # approximate read from the figure
+    ("C3", "syn"): (40.0, 69.0),
+    ("C3", "realistic"): (41.0, 71.0),
+    ("ChatGPT-SQL", "dk"): (33.0, 62.0),
+    ("ChatGPT-SQL", "syn"): (31.0, 58.0),
+    ("ChatGPT-SQL", "realistic"): (36.0, 63.0),
+}
+
+# Paper Table 3 — benchmark statistics.
+PAPER_TABLE3 = [
+    ("SPIDER(TRAIN)", 8659, 146, 66.6, 122.9),
+    ("SPIDER(VALIDATION)", 1034, 20, 68.0, 106.7),
+    ("SPIDER-DK", 535, 10, 66.0, 109.5),
+    ("SPIDER-REALISTIC", 508, 20, 64.8, 115.3),
+    ("SPIDER-SYN", 1034, 20, 68.8, 106.7),
+]

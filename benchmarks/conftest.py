@@ -1,0 +1,167 @@
+"""Shared machinery for the benchmark suite.
+
+Every paper table/figure has one bench module.  Expensive artifacts — the
+corpus, trained pipelines, evaluation reports, test suites — are built
+once per session and shared.  Results are printed as paper-style tables
+and also appended to ``benchmarks/results.json`` so EXPERIMENTS.md can be
+cross-checked against an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import (
+    C3,
+    DAILSQL,
+    DINSQL,
+    FewShotRandom,
+    PLMSeq2SQL,
+    ZeroShotSQL,
+)
+from repro.core import Purple, PurpleConfig
+from repro.eval import build_suites_for_dataset, evaluate_approach
+from repro.llm import CHATGPT, GPT4, MockLLM
+from repro.spider import GeneratorConfig, generate_benchmark, make_variant
+
+RESULTS_PATH = Path(__file__).parent / "results.json"
+
+LLM_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full-scale synthetic Spider corpus."""
+    return generate_benchmark(GeneratorConfig())
+
+
+@pytest.fixture(scope="session")
+def variants(corpus):
+    return {
+        style: make_variant(corpus.dev, style)
+        for style in ("syn", "realistic", "dk")
+    }
+
+
+@pytest.fixture(scope="session")
+def suites(corpus):
+    """Distilled test-suite databases for TS accuracy (Table 4)."""
+    return build_suites_for_dataset(corpus.dev, folds=5, seed=3)
+
+
+class ApproachZoo:
+    """Builds and caches approaches; PURPLE variants share substrates."""
+
+    def __init__(self, corpus):
+        self.corpus = corpus
+        self._base_purple = {}
+        self._cache = {}
+
+    def llm(self, profile):
+        return MockLLM(profile, seed=LLM_SEED)
+
+    def purple(self, profile=CHATGPT, **overrides) -> Purple:
+        key = (profile.name, tuple(sorted(overrides.items())))
+        if key in self._cache:
+            return self._cache[key]
+        config = PurpleConfig(**overrides)
+        pipeline = Purple(self.llm(profile), config)
+        base = self._base_purple.get(profile.name)
+        if base is None:
+            pipeline.fit(self.corpus.train)
+            self._base_purple[profile.name] = pipeline
+        else:
+            # Substrates are config-independent; share the trained ones.
+            pipeline.classifier = base.classifier
+            pipeline.skeleton_module = base.skeleton_module
+            pipeline.automaton = base.automaton
+            pipeline.prompt_builder = base.prompt_builder
+            from repro.core.pruning import SchemaPruner
+
+            pipeline.pruner = SchemaPruner(
+                classifier=base.classifier,
+                tau_p=config.tau_p,
+                tau_n=config.tau_n,
+                use_steiner=config.use_steiner,
+            )
+            pipeline.skeleton_module = type(base.skeleton_module)(
+                predictor=base.skeleton_module.predictor,
+                top_k=config.top_k_skeletons,
+            )
+        self._cache[key] = pipeline
+        return pipeline
+
+    def baseline(self, name: str):
+        if name in self._cache:
+            return self._cache[name]
+        train = self.corpus.train
+        makers = {
+            "zero_chatgpt": lambda: ZeroShotSQL(self.llm(CHATGPT)),
+            "zero_gpt4": lambda: ZeroShotSQL(self.llm(GPT4)),
+            "few_gpt4": lambda: FewShotRandom(self.llm(GPT4), train),
+            "c3_chatgpt": lambda: C3(self.llm(CHATGPT)),
+            "c3_gpt4": lambda: C3(self.llm(GPT4)),
+            "din_chatgpt": lambda: DINSQL(self.llm(CHATGPT), train),
+            "din_gpt4": lambda: DINSQL(self.llm(GPT4), train),
+            "dail_chatgpt": lambda: DAILSQL(self.llm(CHATGPT), train),
+            "dail_gpt4": lambda: DAILSQL(self.llm(GPT4), train),
+            "plm": lambda: PLMSeq2SQL(train),
+        }
+        self._cache[name] = makers[name]()
+        return self._cache[name]
+
+
+@pytest.fixture(scope="session")
+def zoo(corpus):
+    return ApproachZoo(corpus)
+
+
+class ReportStore:
+    """Evaluation reports computed once and shared across bench modules."""
+
+    def __init__(self, zoo, corpus, suites):
+        self.zoo = zoo
+        self.corpus = corpus
+        self.suites = suites
+        self._reports = {}
+
+    def report(self, key: str, approach=None, dataset=None, with_ts=False,
+               limit=None):
+        if key in self._reports:
+            return self._reports[key]
+        dataset = dataset or self.corpus.dev
+        suites = self.suites if with_ts else None
+        report = evaluate_approach(
+            approach, dataset, test_suites=suites, limit=limit
+        )
+        self._reports[key] = report
+        return report
+
+
+@pytest.fixture(scope="session")
+def reports(zoo, corpus, suites):
+    return ReportStore(zoo, corpus, suites)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Append benchmark outputs to results.json at session end."""
+    collected = {}
+
+    def _record(section: str, payload):
+        collected[section] = payload
+
+    yield _record
+    if collected:
+        existing = {}
+        if RESULTS_PATH.exists():
+            try:
+                existing = json.loads(RESULTS_PATH.read_text())
+            except json.JSONDecodeError:
+                existing = {}
+        existing.update(collected)
+        RESULTS_PATH.write_text(json.dumps(existing, indent=2))
+

@@ -1,0 +1,53 @@
+"""Compare PURPLE against the baseline approaches (a mini Table 4).
+
+Run:  python examples/compare_approaches.py
+"""
+
+from repro.baselines import C3, DAILSQL, DINSQL, PLMSeq2SQL, ZeroShotSQL
+from repro.core import Purple, PurpleConfig
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT, GPT4, MockLLM
+from repro.spider import GeneratorConfig, generate_benchmark
+
+
+def main() -> None:
+    print("Generating corpus ...")
+    bench = generate_benchmark(
+        GeneratorConfig(
+            seed=13,
+            train_variants=2,
+            dev_variants=1,
+            train_examples_per_db=25,
+            dev_examples_per_db=20,
+        )
+    )
+    train, dev = bench.train, bench.dev
+
+    print("Building approaches ...")
+    approaches = [
+        ZeroShotSQL(MockLLM(CHATGPT, seed=1)),
+        C3(MockLLM(CHATGPT, seed=1), consistency_n=10),
+        DINSQL(MockLLM(GPT4, seed=1), train),
+        DAILSQL(MockLLM(GPT4, seed=1), train, consistency_n=5),
+        PLMSeq2SQL(train),
+        Purple(MockLLM(CHATGPT, seed=1), PurpleConfig(consistency_n=10)).fit(train),
+        Purple(MockLLM(GPT4, seed=1), PurpleConfig(consistency_n=10)).fit(train),
+    ]
+
+    print(f"\n{'Approach':24s} {'EM':>6s} {'EX':>6s} {'tokens/q':>9s}")
+    print("-" * 50)
+    for approach in approaches:
+        report = evaluate_approach(approach, dev)
+        print(
+            f"{approach.name:24s} {report.em:6.1%} {report.ex:6.1%} "
+            f"{report.tokens_per_query():9d}"
+        )
+    print(
+        "\nNote: this demo corpus is small, so orderings are noisy; the "
+        "full-scale comparison (400 dev queries) lives in "
+        "benchmarks/bench_table4_overall.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Step through PURPLE's pipeline for one question (Figure 3, live).
+
+Shows each module's output: the pruned schema, the top-k predicted
+skeletons, the automaton-selected demonstrations, the packed prompt, the
+LLM's candidate translations, and the adaption/consistency result.
+
+Run:  python examples/inspect_pipeline.py
+"""
+
+from repro.core import Purple, PurpleConfig, select_demonstrations
+from repro.eval import TranslationTask
+from repro.llm import CHATGPT, MockLLM, LLMRequest, render_schema
+from repro.spider import GeneratorConfig, generate_benchmark
+from repro.utils.rng import derive_rng, stable_hash
+
+
+def main() -> None:
+    bench = generate_benchmark(
+        GeneratorConfig(
+            seed=42, train_variants=2, dev_variants=1,
+            train_examples_per_db=25, dev_examples_per_db=15,
+        )
+    )
+    purple = Purple(
+        MockLLM(CHATGPT, seed=7), PurpleConfig(consistency_n=8)
+    ).fit(bench.train)
+
+    # Pick an exclusion task — the paper's Figure 1 scenario.
+    example = next(
+        ex for ex in bench.dev.examples if ex.intent.kind == "exclusion"
+    )
+    database = bench.dev.database(example.db_id)
+    print(f"Question: {example.question}")
+    print(f"Gold SQL: {example.sql}\n")
+
+    # Step 1 — schema pruning.
+    pruned = purple.pruner.prune(example.question, database)
+    print("Step 1 — pruned schema:")
+    print("  " + render_schema(database, pruned).replace("\n", "\n  "))
+
+    # Step 2 — skeleton prediction.
+    skeletons = purple.skeleton_module.predict(example.question, pruned)
+    print("\nStep 2 — top-k predicted skeletons:")
+    for s in skeletons:
+        print(f"  p={s.probability:.4f}  {' '.join(s.tokens)}")
+
+    # Step 3 — demonstration selection (Algorithm 1).
+    rng = derive_rng(0, "inspect", stable_hash(example.question))
+    order = select_demonstrations(purple.automaton, skeletons, purple.config,
+                                  rng=rng)
+    print(f"\nStep 3 — {len(order)} demonstrations selected; top 3:")
+    for idx in order[:3]:
+        demo = bench.train.examples[idx]
+        print(f"  [{demo.db_id}] {demo.question}")
+        print(f"      {demo.sql}")
+
+    # Step 4 — prompt assembly and the LLM call.
+    schema_text = render_schema(database, pruned)
+    prompt = purple.prompt_builder.build(
+        example.question, schema_text, order,
+        budget=purple.config.input_budget, rng=rng,
+    )
+    print(f"\nStep 4 — prompt: {len(prompt)} chars, "
+          f"{prompt.count('### Example')} demonstrations packed")
+    response = purple.llm.complete(
+        LLMRequest(prompt=prompt, n=purple.config.consistency_n)
+    )
+    print("  candidate translations:")
+    for text in dict.fromkeys(response.texts):
+        print(f"    {text}")
+
+    # Step 5 — the full pipeline end to end.
+    result = purple.translate(
+        TranslationTask(question=example.question, database=database)
+    )
+    print(f"\nStep 5 — final (adapted + voted): {result.sql}")
+    purple.close()
+
+
+if __name__ == "__main__":
+    main()

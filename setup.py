@@ -1,0 +1,17 @@
+"""Legacy setup shim — lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline and has no build isolation)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Offline reproduction of PURPLE: Making a Large Language Model a "
+        "Better SQL Writer (ICDE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,49 @@
+"""Offline reproduction of *PURPLE: Making a Large Language Model a
+Better SQL Writer* (Ren et al., ICDE 2024).
+
+Top-level convenience surface; the subpackages are the real API:
+
+* :mod:`repro.spider` — the synthetic Spider-style corpus family;
+* :mod:`repro.core` — the PURPLE pipeline;
+* :mod:`repro.baselines` — C3, DIN-SQL, DAIL-SQL, zero/few-shot, PLM;
+* :mod:`repro.llm` — the simulated LLM provider;
+* :mod:`repro.eval` — EM/EX/TS metrics, harness, reporting.
+
+Quickstart::
+
+    from repro import GeneratorConfig, generate_benchmark
+    from repro import GPT4, MockLLM, Purple, PurpleConfig, evaluate_approach
+
+    bench = generate_benchmark(GeneratorConfig())
+    purple = Purple(MockLLM(GPT4), PurpleConfig()).fit(bench.train)
+    report = evaluate_approach(purple, bench.dev)
+"""
+
+from repro.core import Purple, PurpleConfig
+from repro.eval import (
+    TranslationTask,
+    evaluate_approach,
+    exact_set_match,
+    execution_match,
+)
+from repro.llm import CHATGPT, GPT4, MockLLM
+from repro.spider import Dataset, GeneratorConfig, generate_benchmark, make_variant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Purple",
+    "PurpleConfig",
+    "TranslationTask",
+    "evaluate_approach",
+    "exact_set_match",
+    "execution_match",
+    "CHATGPT",
+    "GPT4",
+    "MockLLM",
+    "Dataset",
+    "GeneratorConfig",
+    "generate_benchmark",
+    "make_variant",
+    "__version__",
+]

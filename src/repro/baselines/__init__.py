@@ -1,0 +1,33 @@
+"""Baseline NL2SQL approaches (§V-A3).
+
+All implement the same :class:`~repro.eval.harness.NL2SQLApproach`
+protocol as PURPLE, so the benchmark harness treats them uniformly:
+
+* :class:`ZeroShotSQL` — plain zero-shot prompting (ChatGPT-SQL, and the
+  DIN-SQL paper's GPT4 zero-shot row);
+* :class:`FewShotRandom` — random demonstrations to budget (GPT4 few-shot);
+* :class:`C3` — calibrated zero-shot: hand-crafted instructions, lexical
+  schema pruning, execution-consistency voting;
+* :class:`DINSQL` — static chain-of-thought demonstration set with a
+  self-correction second call;
+* :class:`DAILSQL` — demonstration selection by masked-question similarity
+  plus order-insensitive SQL-keyword Jaccard (the similarity the paper
+  criticizes in §IV-C1);
+* :class:`PLMSeq2SQL` — the PLM-based family representative
+  (RESDSQL-style: pruned schema → skeleton → slot filling, no LLM).
+"""
+
+from repro.baselines.c3 import C3
+from repro.baselines.dail_sql import DAILSQL
+from repro.baselines.din_sql import DINSQL
+from repro.baselines.plm_seq2seq import PLMSeq2SQL
+from repro.baselines.zero_few import FewShotRandom, ZeroShotSQL
+
+__all__ = [
+    "C3",
+    "DAILSQL",
+    "DINSQL",
+    "PLMSeq2SQL",
+    "FewShotRandom",
+    "ZeroShotSQL",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``  — build the synthetic benchmark corpus and save it to disk;
+* ``evaluate``  — train an approach on a saved train split and score it on
+  a saved dev split (EM/EX);
+* ``translate`` — answer one NL question against a database of a saved
+  dataset with a trained PURPLE pipeline;
+* ``stats``     — print Table-3 style statistics for saved datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.spider import (
+    Dataset,
+    GeneratorConfig,
+    benchmark_statistics,
+    generate_benchmark,
+    make_variant,
+)
+
+
+def _cmd_generate(args) -> int:
+    config = GeneratorConfig(
+        seed=args.seed,
+        train_variants=args.train_variants,
+        dev_variants=args.dev_variants,
+        train_examples_per_db=args.train_per_db,
+        dev_examples_per_db=args.dev_per_db,
+    )
+    print("Generating corpus ...")
+    bench = generate_benchmark(config)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    bench.train.save(out / "train.json")
+    bench.dev.save(out / "dev.json")
+    for style in ("syn", "realistic", "dk"):
+        make_variant(bench.dev, style).save(out / f"dev_{style}.json")
+    print(f"Saved train ({len(bench.train)}) and dev ({len(bench.dev)}) "
+          f"plus variants to {out}/")
+    return 0
+
+
+def _load(path: str) -> Dataset:
+    return Dataset.load(path)
+
+
+def _build_approach(name: str, llm_name: str, train: Dataset, budget: int,
+                    consistency: int):
+    from repro.baselines import (
+        C3,
+        DAILSQL,
+        DINSQL,
+        FewShotRandom,
+        PLMSeq2SQL,
+        ZeroShotSQL,
+    )
+    from repro.core import Purple, PurpleConfig
+    from repro.llm import MockLLM, profile_by_name
+
+    if name == "plm":
+        return PLMSeq2SQL(train)
+    llm = MockLLM(profile_by_name(llm_name))
+    if name == "purple":
+        config = PurpleConfig(input_budget=budget, consistency_n=consistency)
+        return Purple(llm, config).fit(train)
+    if name == "zero":
+        return ZeroShotSQL(llm)
+    if name == "few":
+        return FewShotRandom(llm, train, budget=budget)
+    if name == "c3":
+        return C3(llm, consistency_n=consistency)
+    if name == "din":
+        return DINSQL(llm, train)
+    if name == "dail":
+        return DAILSQL(llm, train, budget=budget)
+    raise SystemExit(f"unknown approach {name!r}")
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.eval import evaluate_approach
+
+    train = _load(args.train)
+    dev = _load(args.dev)
+    print(f"Training {args.approach} ({args.llm}) on {len(train)} demos ...")
+    approach = _build_approach(
+        args.approach, args.llm, train, args.budget, args.consistency
+    )
+    report = evaluate_approach(approach, dev, limit=args.limit)
+    print(
+        f"{approach.name}: EM {report.em:.1%}  EX {report.ex:.1%}  "
+        f"tokens/query {report.tokens_per_query()}  (n={len(report)})"
+    )
+    if args.by_hardness:
+        for metric in ("em", "ex"):
+            print(f"  {metric.upper()} by hardness:", {
+                k: f"{v:.1%}" for k, v in report.by_hardness(metric).items()
+            })
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    from repro.eval import TranslationTask
+
+    train = _load(args.train)
+    dev = _load(args.dev)
+    if args.db_id not in dev.databases:
+        raise SystemExit(
+            f"unknown db_id {args.db_id!r}; available: {dev.db_ids()}"
+        )
+    approach = _build_approach("purple", args.llm, train, args.budget,
+                               args.consistency)
+    result = approach.translate(
+        TranslationTask(question=args.question, database=dev.database(args.db_id))
+    )
+    print(result.sql)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    for path in args.datasets:
+        stats = benchmark_statistics(_load(path))
+        name, queries, dbs, qlen, slen = stats.row()
+        print(f"{name}: {queries} queries, {dbs} dbs, "
+              f"avg NL {qlen} chars, avg SQL {slen} chars")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PURPLE reproduction — corpus generation and evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate and save the corpus")
+    g.add_argument("--output", default="corpus")
+    g.add_argument("--seed", type=int, default=20240101)
+    g.add_argument("--train-variants", type=int, default=4)
+    g.add_argument("--dev-variants", type=int, default=2)
+    g.add_argument("--train-per-db", type=int, default=45)
+    g.add_argument("--dev-per-db", type=int, default=50)
+    g.set_defaults(func=_cmd_generate)
+
+    e = sub.add_parser("evaluate", help="train an approach and score it")
+    e.add_argument("--train", default="corpus/train.json")
+    e.add_argument("--dev", default="corpus/dev.json")
+    e.add_argument(
+        "--approach", default="purple",
+        choices=["purple", "zero", "few", "c3", "din", "dail", "plm"],
+    )
+    e.add_argument("--llm", default="chatgpt", choices=["chatgpt", "gpt4"])
+    e.add_argument("--budget", type=int, default=3072)
+    e.add_argument("--consistency", type=int, default=30)
+    e.add_argument("--limit", type=int, default=None)
+    e.add_argument("--by-hardness", action="store_true")
+    e.set_defaults(func=_cmd_evaluate)
+
+    t = sub.add_parser("translate", help="translate one question with PURPLE")
+    t.add_argument("question")
+    t.add_argument("--db-id", required=True)
+    t.add_argument("--train", default="corpus/train.json")
+    t.add_argument("--dev", default="corpus/dev.json")
+    t.add_argument("--llm", default="gpt4", choices=["chatgpt", "gpt4"])
+    t.add_argument("--budget", type=int, default=3072)
+    t.add_argument("--consistency", type=int, default=10)
+    t.set_defaults(func=_cmd_translate)
+
+    s = sub.add_parser("stats", help="Table-3 statistics for saved datasets")
+    s.add_argument("datasets", nargs="+")
+    s.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

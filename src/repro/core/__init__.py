@@ -1,0 +1,29 @@
+"""PURPLE — the paper's primary contribution.
+
+Pipeline (Figure 3): schema pruning → skeleton prediction → demonstration
+selection via the four-level automaton → prompt assembly under a token
+budget → LLM call → database adaption with execution-consistency voting.
+"""
+
+from repro.core.automaton import AutomatonIndex, LevelAutomaton
+from repro.core.adaption import DatabaseAdapter
+from repro.core.config import PurpleConfig
+from repro.core.consistency import consistency_vote
+from repro.core.pipeline import Purple
+from repro.core.prompt import PromptBuilder
+from repro.core.pruning import SchemaPruner
+from repro.core.selection import select_demonstrations
+from repro.core.skeleton_prediction import SkeletonPredictionModule
+
+__all__ = [
+    "AutomatonIndex",
+    "LevelAutomaton",
+    "DatabaseAdapter",
+    "PurpleConfig",
+    "consistency_vote",
+    "Purple",
+    "PromptBuilder",
+    "SchemaPruner",
+    "select_demonstrations",
+    "SkeletonPredictionModule",
+]

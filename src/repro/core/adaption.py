@@ -1,0 +1,361 @@
+"""Database adaption (§IV-D1): repair the six hallucination error classes.
+
+Repairs run **only** on SQL that fails to execute, so valid queries are
+never perturbed ("the SQL adaption strategy does not introduce undesired
+side effects to the valid SQL").  A failing query gets up to
+``max_attempts`` repair rounds; each round applies the first applicable
+heuristic and re-checks executability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.schema import Database, SchemaGraph, SQLiteExecutor
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    JoinedTable,
+    Query,
+    SelectCore,
+    SelectItem,
+    TableRef,
+    walk,
+)
+from repro.sqlkit.errors import SQLError
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.render import render_sql
+from repro.utils.text import edit_distance
+
+
+@dataclass
+class RepairOutcome:
+    """What happened to one candidate SQL."""
+
+    sql: str
+    repaired: bool = False
+    attempts: int = 0
+    fixes: tuple = ()
+
+
+class DatabaseAdapter:
+    """Adapts LLM output to the target database schema and dialect.
+
+    ``map_functions=True`` enables the paper's stated future-work upgrade
+    of the Function-Hallucination repair: instead of omitting an
+    unsupported function call, translate it to the target dialect
+    (``CONCAT(a, b)`` → SQLite's ``a || b``).
+    """
+
+    def __init__(
+        self,
+        executor: SQLiteExecutor,
+        max_attempts: int = 5,
+        map_functions: bool = False,
+    ):
+        self.executor = executor
+        self.max_attempts = max_attempts
+        self.map_functions = map_functions
+
+    def adapt(self, sql: str, database: Database) -> RepairOutcome:
+        """Repair ``sql`` against ``database`` if (and only if) it fails."""
+        key = self.executor.register(database)
+        if self.executor.execute(key, sql).ok:
+            return RepairOutcome(sql=sql)
+        fixes = []
+        current = sql
+        for attempt in range(1, self.max_attempts + 1):
+            fixed = self._apply_one_fix(current, database)
+            if fixed is None or fixed == current:
+                return RepairOutcome(
+                    sql=current, repaired=False, attempts=attempt, fixes=tuple(fixes)
+                )
+            current, fix_name = fixed
+            fixes.append(fix_name)
+            if self.executor.execute(key, current).ok:
+                return RepairOutcome(
+                    sql=current, repaired=True, attempts=attempt, fixes=tuple(fixes)
+                )
+        return RepairOutcome(
+            sql=current, repaired=False, attempts=self.max_attempts, fixes=tuple(fixes)
+        )
+
+    # -- one repair round ------------------------------------------------------------
+
+    def _apply_one_fix(self, sql: str, database: Database) -> Optional[tuple]:
+        try:
+            query = parse_sql(sql)
+        except SQLError:
+            return None
+        for name, fixer in _FIXERS:
+            if name == "function_hallucination":
+                mutated = fixer(query, database, map_functions=self.map_functions)
+            else:
+                mutated = fixer(query, database)
+            if mutated is not None:
+                return render_sql(mutated), name
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Fixers.  Each inspects the AST against the real schema and returns a fixed
+# query, or None when its error class is not present.
+# ---------------------------------------------------------------------------
+
+
+def _bindings(core: SelectCore) -> dict:
+    """binding (alias or name, lowercase) -> table name for one core."""
+    bindings = {}
+    if core.from_clause is None:
+        return bindings
+    for source in core.from_clause.sources():
+        if isinstance(source, TableRef):
+            bindings[source.binding()] = source.name.lower()
+    return bindings
+
+
+def fix_function_hallucination(
+    query: Query, database: Database, map_functions: bool = False
+) -> Optional[Query]:
+    """CONCAT and friends are unsupported in SQLite.
+
+    Default behaviour follows §IV-D1's "immediate solution": keep the
+    first column argument and omit the call.  With ``map_functions`` the
+    paper's future-work upgrade applies instead: translate the call to the
+    target dialect (``CONCAT(a, b)`` → ``a || b``).
+    """
+    changed = False
+    for core in _all_cores(query):
+        for item in core.items:
+            if not isinstance(item.expr, FuncCall):
+                continue
+            if map_functions and item.expr.name == "CONCAT" and item.expr.args:
+                mapped = item.expr.args[0]
+                for arg in item.expr.args[1:]:
+                    mapped = BinaryOp(op="||", left=mapped, right=arg)
+                item.expr = mapped
+                changed = True
+                continue
+            replacement = next(
+                (a for a in item.expr.args if isinstance(a, ColumnRef)),
+                item.expr.args[0] if item.expr.args else None,
+            )
+            if replacement is not None:
+                item.expr = replacement
+                changed = True
+    return query if changed else None
+
+
+def fix_aggregation_hallucination(query: Query, database: Database) -> Optional[Query]:
+    """COUNT(DISTINCT a, b) → COUNT(DISTINCT a), COUNT(DISTINCT b)."""
+    for core in _all_cores(query):
+        for i, item in enumerate(core.items):
+            expr = item.expr
+            if isinstance(expr, Agg) and len(expr.args) > 1:
+                extra_items = [
+                    SelectItem(
+                        expr=Agg(func=expr.func, args=[arg], distinct=expr.distinct)
+                    )
+                    for arg in expr.args[1:]
+                ]
+                expr.args = expr.args[:1]
+                core.items[i + 1 : i + 1] = extra_items
+                return query
+    return None
+
+
+def fix_table_column_mismatch(query: Query, database: Database) -> Optional[Query]:
+    """A qualified column pointing at a table that lacks it — re-point it
+    at the in-scope table that has it."""
+    schema = database.schema
+    changed = False
+    for core in _all_cores(query):
+        bindings = _bindings(core)
+        for node in _scope_nodes(core):
+            if not isinstance(node, ColumnRef) or not node.table:
+                continue
+            table = bindings.get(node.table.lower())
+            if table is None or not schema.has_table(table):
+                continue
+            if schema.table(table).has_column(node.column):
+                continue
+            for binding, other in bindings.items():
+                if schema.has_table(other) and schema.table(other).has_column(
+                    node.column
+                ):
+                    node.table = _binding_token(core, binding)
+                    changed = True
+                    break
+    return query if changed else None
+
+
+def fix_column_ambiguity(query: Query, database: Database) -> Optional[Query]:
+    """An unqualified column present in several FROM tables — qualify it."""
+    schema = database.schema
+    changed = False
+    for core in _all_cores(query):
+        bindings = _bindings(core)
+        if len(bindings) < 2:
+            continue
+        for node in _scope_nodes(core):
+            if not isinstance(node, ColumnRef) or node.table:
+                continue
+            holders = [
+                b
+                for b, t in bindings.items()
+                if schema.has_table(t) and schema.table(t).has_column(node.column)
+            ]
+            if len(holders) >= 2:
+                node.table = _binding_token(core, sorted(holders)[0])
+                changed = True
+    return query if changed else None
+
+
+def fix_missing_table(query: Query, database: Database) -> Optional[Query]:
+    """A referenced column belongs to a table absent from FROM — join that
+    table in along the foreign-key path."""
+    schema = database.schema
+    graph = SchemaGraph(schema)
+    for core in _all_cores(query):
+        bindings = _bindings(core)
+        if core.from_clause is None or not bindings:
+            continue
+        in_scope = set(bindings.values())
+        for node in _scope_nodes(core):
+            if not isinstance(node, ColumnRef) or node.table:
+                continue
+            if any(
+                schema.has_table(t) and schema.table(t).has_column(node.column)
+                for t in in_scope
+            ):
+                continue
+            owners = [t.key for t in schema.tables_with_column(node.column)]
+            if not owners:
+                continue
+            anchor = next(iter(in_scope))
+            paths = [(graph.join_path(anchor, o), o) for o in owners]
+            paths = [(p, o) for p, o in paths if p]
+            if not paths:
+                continue
+            path, owner = min(paths, key=lambda po: len(po[0]))
+            _extend_joins(core, path, schema, graph)
+            node.table = owner
+            return query
+    return None
+
+
+def fix_schema_hallucination(query: Query, database: Database) -> Optional[Query]:
+    """A column that exists nowhere — substitute the minimal-edit-distance
+    column of the in-scope tables."""
+    schema = database.schema
+    for core in _all_cores(query):
+        bindings = _bindings(core)
+        in_scope = [t for t in bindings.values() if schema.has_table(t)]
+        if not in_scope:
+            continue
+        for node in _scope_nodes(core):
+            if not isinstance(node, ColumnRef):
+                continue
+            if any(schema.table(t).has_column(node.column) for t in in_scope):
+                continue
+            if any(
+                t.has_column(node.column) for t in schema.tables
+            ):
+                continue  # exists elsewhere: that's Missing-Table's job
+            candidates = [
+                (edit_distance(node.column.lower(), col.key), t, col.name)
+                for t in in_scope
+                for col in schema.table(t).columns
+            ]
+            if not candidates:
+                continue
+            _, table, column = min(candidates)
+            node.column = column
+            if node.table is None and len(bindings) > 1:
+                node.table = _binding_for_table(core, table)
+            return query
+    return None
+
+
+_FIXERS = (
+    ("function_hallucination", fix_function_hallucination),
+    ("aggregation_hallucination", fix_aggregation_hallucination),
+    ("table_column_mismatch", fix_table_column_mismatch),
+    ("column_ambiguity", fix_column_ambiguity),
+    ("missing_table", fix_missing_table),
+    ("schema_hallucination", fix_schema_hallucination),
+)
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _all_cores(query: Query) -> list:
+    cores = []
+    for node in walk(query):
+        if isinstance(node, SelectCore):
+            cores.append(node)
+    return cores
+
+
+def _scope_nodes(core: SelectCore):
+    """Nodes of one core without descending into nested subqueries."""
+    stack = list(core.children())
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Query):
+            continue
+        yield node
+        stack.extend(node.children())
+
+
+def _binding_token(core: SelectCore, binding: str) -> str:
+    """The original-case alias/name for a lowercase binding."""
+    for source in core.from_clause.sources():
+        if isinstance(source, TableRef) and source.binding() == binding:
+            return source.alias or source.name
+    return binding
+
+
+def _binding_for_table(core: SelectCore, table: str) -> Optional[str]:
+    for source in core.from_clause.sources():
+        if isinstance(source, TableRef) and source.name.lower() == table:
+            return source.alias or source.name
+    return None
+
+
+def _extend_joins(core: SelectCore, path: list, schema, graph: SchemaGraph) -> None:
+    """Join the tables along ``path`` into the FROM clause."""
+    present = {b for b in _bindings(core).values()}
+    previous = path[0]
+    for table in path[1:]:
+        if table in present:
+            previous = table
+            continue
+        fk = graph.edge_fk(previous, table)
+        on = None
+        if fk is not None:
+            src_t, src_c, dst_t, dst_c = fk.normalized()
+            # Tables already in scope may be aliased; refer to them by
+            # their binding, new tables by their plain name.
+            src_ref = _binding_for_table(core, src_t) or src_t
+            dst_ref = _binding_for_table(core, dst_t) or dst_t
+            if src_t == table:
+                src_ref = table
+            if dst_t == table:
+                dst_ref = table
+            on = Comparison(
+                op="=",
+                left=ColumnRef(column=src_c, table=src_ref),
+                right=ColumnRef(column=dst_c, table=dst_ref),
+            )
+        core.from_clause.joins.append(
+            JoinedTable(source=TableRef(name=table), on=on)
+        )
+        present.add(table)
+        previous = table

@@ -1,0 +1,48 @@
+"""Execution-consistency voting (§IV-D2).
+
+The LLM produces ``n`` candidate translations; each executable candidate
+votes with its execution result, and the **first** SQL belonging to the
+consensus (largest) result group is the output — exactly the paper's
+"the first SQL that yields the consensus execution result is selected".
+"""
+
+from __future__ import annotations
+
+from repro.schema import Database, SQLiteExecutor
+
+
+def consistency_vote(
+    sqls: list,
+    executor: SQLiteExecutor,
+    database: Database,
+) -> str:
+    """Pick the consensus translation among candidates."""
+    if not sqls:
+        return ""
+    if len(sqls) == 1:
+        return sqls[0]
+    key = executor.register(database)
+    groups: dict = {}
+    order: list = []
+    for sql in sqls:
+        result = executor.execute(key, sql)
+        if not result.ok:
+            continue
+        signature = _result_signature(result.sorted_rows())
+        if signature not in groups:
+            groups[signature] = []
+            order.append(signature)
+        groups[signature].append(sql)
+    if not groups:
+        return sqls[0]
+    consensus = max(order, key=lambda s: len(groups[s]))
+    return groups[consensus][0]
+
+
+def _result_signature(rows: list) -> tuple:
+    return tuple(
+        tuple(
+            round(v, 4) if isinstance(v, float) else v for v in row
+        )
+        for row in rows
+    )

@@ -1,0 +1,188 @@
+"""The end-to-end PURPLE pipeline (Figure 3).
+
+``Purple.fit`` trains the two PLM substrates on the demonstration corpus
+and builds the four-level automaton; ``Purple.translate`` runs the full
+loop for one task: prune → predict skeletons → select demonstrations →
+pack prompt → call the LLM (n samples) → adapt → vote.
+
+Every module can be switched off for the Table-6 ablations via
+:class:`~repro.core.config.PurpleConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adaption import DatabaseAdapter
+from repro.core.automaton import AutomatonIndex
+from repro.core.config import PurpleConfig
+from repro.core.consistency import consistency_vote
+from repro.core.prompt import PromptBuilder
+from repro.core.pruning import SchemaPruner
+from repro.core.selection import select_demonstrations
+from repro.core.skeleton_prediction import (
+    PredictedSkeleton,
+    SkeletonPredictionModule,
+)
+from repro.eval.cost import TokenUsage
+from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.interface import LLM, LLMRequest
+from repro.llm.promptfmt import render_schema
+from repro.plm.classifier import train_schema_classifier
+from repro.plm.skeleton_model import train_skeleton_predictor
+from repro.schema import SQLiteExecutor
+from repro.spider.dataset import Dataset
+from repro.sqlkit.skeleton import skeleton_tokens
+from repro.utils.rng import derive_rng, stable_hash
+
+
+class Purple:
+    """PURPLE: Pre-trained models Utilized to Retrieve Prompts for
+    Logical Enhancement."""
+
+    def __init__(self, llm: LLM, config: Optional[PurpleConfig] = None):
+        self.llm = llm
+        self.config = config or PurpleConfig()
+        self.name = f"PURPLE({llm.name})"
+        self.executor = SQLiteExecutor()
+        self.adapter = DatabaseAdapter(
+            self.executor,
+            max_attempts=self.config.max_repair_attempts,
+            map_functions=self.config.map_functions,
+        )
+        self.classifier = None
+        self.pruner: Optional[SchemaPruner] = None
+        self.skeleton_module: Optional[SkeletonPredictionModule] = None
+        self.automaton: Optional[AutomatonIndex] = None
+        self.prompt_builder: Optional[PromptBuilder] = None
+        self.oracle_skeletons: dict = {}
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, demo_pool: Dataset) -> "Purple":
+        """Train substrates and index the demonstration pool."""
+        cfg = self.config
+        self.classifier = train_schema_classifier(
+            demo_pool, epochs=cfg.classifier_epochs, seed=cfg.seed
+        )
+        self.pruner = SchemaPruner(
+            classifier=self.classifier,
+            tau_p=cfg.tau_p,
+            tau_n=cfg.tau_n,
+            use_steiner=cfg.use_steiner,
+            steiner_method=cfg.steiner_method,
+        )
+        predictor = train_skeleton_predictor(
+            demo_pool, epochs=cfg.skeleton_epochs, seed=cfg.seed
+        )
+        self.skeleton_module = SkeletonPredictionModule(
+            predictor=predictor, top_k=cfg.top_k_skeletons
+        )
+        self.automaton = AutomatonIndex.build([ex.sql for ex in demo_pool])
+        self.prompt_builder = PromptBuilder(
+            demo_pool, values_per_column=cfg.values_per_column
+        )
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def translate(self, task: TranslationTask) -> TranslationResult:
+        """Translate one NL question to SQL."""
+        assert self.prompt_builder is not None, "call fit() first"
+        cfg = self.config
+        rng = derive_rng(
+            cfg.seed, "purple", task.db_id, stable_hash(task.question)
+        )
+
+        # Step 1 — schema pruning.
+        if cfg.use_pruning:
+            schema = self.pruner.prune(task.question, task.database)
+        else:
+            schema = task.database.schema
+        schema_text = render_schema(
+            task.database, schema, values_per_column=cfg.values_per_column
+        )
+
+        # Step 2 — skeleton prediction (or the oracle override).
+        skeletons = self._predict_skeletons(task, schema)
+
+        # Step 3 — demonstration selection.
+        if cfg.use_selection and skeletons:
+            demo_order = select_demonstrations(
+                self.automaton, skeletons, cfg, rng=rng
+            )
+        else:
+            demo_order = []
+
+        # Step 3b — generation-based prompting (§VII future work): when
+        # retrieval found nothing at the fine-grained levels, synthesize a
+        # demonstration by instantiating the predicted skeleton over the
+        # task's own schema.
+        extra_blocks = []
+        if cfg.use_synthesis and skeletons:
+            top = skeletons[0]
+            if not self.automaton.match(1, top.tokens) and not self.automaton.match(
+                2, top.tokens
+            ):
+                from repro.core.synthesis import synthesize_sql
+                from repro.llm.promptfmt import render_demo
+
+                synthetic = synthesize_sql(
+                    top.tokens, schema, task.database, executor=self.executor
+                )
+                if synthetic is not None:
+                    extra_blocks.append(
+                        render_demo(schema_text, task.question, synthetic)
+                    )
+
+        # Step 4 — prompt assembly and the LLM call.
+        prompt = self.prompt_builder.build(
+            task.question,
+            schema_text,
+            demo_order,
+            budget=cfg.input_budget,
+            rng=rng,
+            extra_blocks=extra_blocks,
+        )
+        response = self.llm.complete(
+            LLMRequest(prompt=prompt, n=cfg.consistency_n)
+        )
+
+        # Step 5 — database adaption (repairs) and consistency voting.
+        # Hallucinations are systematic per prompt, so without the repairs
+        # the whole vote pool shares the defect — which is exactly why the
+        # paper's -Database Adaption ablation costs mostly EX.
+        if cfg.use_adaption:
+            candidates = [
+                self.adapter.adapt(text, task.database).sql
+                for text in response.texts
+            ]
+        else:
+            candidates = list(response.texts)
+        final = consistency_vote(candidates, self.executor, task.database)
+
+        usage = TokenUsage(
+            prompt_tokens=response.prompt_tokens,
+            output_tokens=response.output_tokens,
+            calls=1,
+        )
+        return TranslationResult(sql=final, usage=usage)
+
+    def _predict_skeletons(self, task: TranslationTask, schema) -> list:
+        oracle = self.oracle_skeletons.get((task.db_id, task.question))
+        if oracle is not None:
+            return [PredictedSkeleton(tokens=tuple(oracle), probability=1.0)]
+        return self.skeleton_module.predict(task.question, schema)
+
+    # -- oracle support (Table 6, "+Oracle Skeleton") -------------------------------
+
+    def set_oracle_skeletons(self, dataset: Dataset) -> None:
+        """Install gold skeletons for the oracle-setting experiment."""
+        self.oracle_skeletons = {
+            (ex.db_id, ex.question): tuple(skeleton_tokens(ex.sql))
+            for ex in dataset
+        }
+
+    def close(self) -> None:
+        """Release the underlying SQLite resources."""
+        self.executor.close()

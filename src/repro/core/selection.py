@@ -1,0 +1,68 @@
+"""Demonstration selection — Algorithm 1 of the paper.
+
+The preferential matching sequence ``I`` is a 4×k matrix of match lists
+(rows = abstraction levels, columns = top-k predicted skeletons, row-major
+order).  Selection proceeds in rounds: with budget ``p`` (starting at p₀
+and grown by Increase-Generalization each round), one demonstration is
+popped from each of the first ``p`` non-exhausted cells; duplicates are
+skipped.  Lower abstraction levels and higher-probability skeletons are
+preferred, exactly as Figure 8 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.automaton import AutomatonIndex
+from repro.core.config import PurpleConfig
+
+
+def select_demonstrations(
+    index: AutomatonIndex,
+    predicted_skeletons: list,
+    config: PurpleConfig,
+    rng: Optional[np.random.Generator] = None,
+    max_demos: Optional[int] = None,
+) -> list:
+    """Run Algorithm 1; returns demonstration indices in priority order.
+
+    ``predicted_skeletons`` is a list of
+    :class:`~repro.core.skeleton_prediction.PredictedSkeleton`, best first.
+    Figure-12 noise knobs (``mask_levels``, ``drop_skeleton_prob``) apply
+    here.
+    """
+    skeletons = list(predicted_skeletons)
+    if config.drop_skeleton_prob > 0 and rng is not None and len(skeletons) > 1:
+        if rng.random() < config.drop_skeleton_prob:
+            drop = int(rng.integers(0, len(skeletons)))
+            skeletons.pop(drop)
+
+    levels = [lvl for lvl in (1, 2, 3, 4) if lvl > config.mask_levels]
+    # Build the preferential matching sequence I (row-major: level, then
+    # skeleton rank).
+    cells = []
+    for level in levels:
+        for skeleton in skeletons:
+            matches = index.match(level, skeleton.tokens)
+            cells.append(list(matches))
+
+    selected: list = []
+    chosen: set = set()
+    p = config.p0
+    iteration = 0
+    while any(cells):
+        active = [c for c in cells if c]
+        for cell in active[:p]:
+            while cell:
+                demo = cell.pop(0)
+                if demo not in chosen:
+                    chosen.add(demo)
+                    selected.append(demo)
+                    break
+            if max_demos is not None and len(selected) >= max_demos:
+                return selected
+        p = config.generalization_step(p, iteration)
+        iteration += 1
+    return selected

@@ -1,0 +1,40 @@
+"""Token/cost accounting for LLM API usage (paper §V-D).
+
+The paper reports prompt-length/response-count trade-offs in tokens per
+query.  Approaches report their token usage per translation; this module
+aggregates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TokenUsage:
+    """Token usage of one translation (or an aggregate of many)."""
+
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    calls: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus output tokens."""
+        return self.prompt_tokens + self.output_tokens
+
+    def add(self, other: "TokenUsage") -> None:
+        """Accumulate another usage record into this one."""
+        self.prompt_tokens += other.prompt_tokens
+        self.output_tokens += other.output_tokens
+        self.calls += other.calls
+
+    def per_query(self, queries: int) -> "TokenUsage":
+        """Average usage per query."""
+        if queries <= 0:
+            return TokenUsage()
+        return TokenUsage(
+            prompt_tokens=self.prompt_tokens // queries,
+            output_tokens=self.output_tokens // queries,
+            calls=max(1, self.calls // queries),
+        )

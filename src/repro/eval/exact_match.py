@@ -1,0 +1,227 @@
+"""Exact-Set Match (EM) — Spider's official component-level metric.
+
+Two SQL queries match when, clause by clause, their components are equal
+*as sets*: projection items, FROM tables, join conditions, flattened WHERE
+conjuncts, GROUP BY keys, HAVING conditions, ORDER BY keys (ordered) and
+LIMIT.  Aliases are resolved to real table names, identifiers are
+case-insensitive, and constant values are masked (Spider's EM ignores
+values), so ``>= 4`` vs ``> 3`` differ by operator but not by constant.
+
+The metric is deliberately strict: a semantically equivalent query using a
+different logical operator composition (``NOT IN`` vs ``EXCEPT``) does NOT
+match — that is the gap PURPLE closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    BetweenExpr,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    Node,
+    OrderItem,
+    Query,
+    SelectCore,
+    Star,
+    Subquery,
+    SubquerySource,
+    TableRef,
+    ValueList,
+)
+from repro.sqlkit.errors import SQLError
+from repro.sqlkit.parser import parse_sql
+
+_VALUE = "<v>"
+
+
+def exact_set_match(gold_sql: str, predicted_sql: str) -> bool:
+    """True when the two queries are component-set equal."""
+    try:
+        gold = parse_sql(gold_sql)
+        pred = parse_sql(predicted_sql)
+    except SQLError:
+        return False
+    return em_signature(gold) == em_signature(pred)
+
+
+def em_signature(query: Query) -> tuple:
+    """A hashable canonical signature of a query for EM comparison."""
+    parts = [_core_signature(query.core)]
+    for op, rhs in query.compounds:
+        rhs_sig = (
+            em_signature(rhs) if isinstance(rhs, Query) else _core_signature(rhs)
+        )
+        parts.append((op, rhs_sig))
+    return tuple(parts)
+
+
+def _core_signature(core: SelectCore) -> tuple:
+    aliases = _alias_map(core.from_clause)
+    sole = _sole_table(core.from_clause)
+
+    select = frozenset(
+        _expr_sig(item.expr, aliases, sole) for item in core.items
+    )
+    from_tables, join_conds = _from_signature(core.from_clause, aliases, sole)
+    where = _cond_sig(core.where, aliases, sole)
+    group = frozenset(_expr_sig(g, aliases, sole) for g in core.group_by)
+    having = _cond_sig(core.having, aliases, sole)
+    order = tuple(_order_sig(o, aliases, sole) for o in core.order_by)
+    return (
+        ("select", core.distinct, select),
+        ("from", from_tables, join_conds),
+        ("where", where),
+        ("group", group),
+        ("having", having),
+        ("order", order),
+        ("limit", core.limit),
+    )
+
+
+# -- alias handling -----------------------------------------------------------
+
+
+def _alias_map(from_clause: Optional[FromClause]) -> dict:
+    aliases: dict[str, str] = {}
+    if from_clause is None:
+        return aliases
+    for source in from_clause.sources():
+        if isinstance(source, TableRef):
+            name = source.name.lower()
+            aliases[name] = name
+            if source.alias:
+                aliases[source.alias.lower()] = name
+        elif isinstance(source, SubquerySource) and source.alias:
+            aliases[source.alias.lower()] = f"<sub:{source.alias.lower()}>"
+    return aliases
+
+
+def _sole_table(from_clause: Optional[FromClause]) -> Optional[str]:
+    if from_clause is None:
+        return None
+    refs = [s for s in from_clause.sources() if isinstance(s, TableRef)]
+    if len(refs) == 1 and len(from_clause.sources()) == 1:
+        return refs[0].name.lower()
+    return None
+
+
+def _column_sig(ref: ColumnRef, aliases: dict, sole: Optional[str]) -> tuple:
+    column = ref.column.lower()
+    if ref.table:
+        table = aliases.get(ref.table.lower(), ref.table.lower())
+    elif sole is not None:
+        table = sole
+    else:
+        table = ""
+    return ("col", table, column)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def _expr_sig(node: Node, aliases: dict, sole: Optional[str]):
+    if isinstance(node, ColumnRef):
+        return _column_sig(node, aliases, sole)
+    if isinstance(node, Star):
+        return ("star",)
+    if isinstance(node, Literal):
+        return ("lit", _VALUE)
+    if isinstance(node, Agg):
+        args = tuple(_expr_sig(a, aliases, sole) for a in node.args)
+        return ("agg", node.func.upper(), node.distinct, args)
+    if isinstance(node, FuncCall):
+        args = tuple(_expr_sig(a, aliases, sole) for a in node.args)
+        return ("func", node.name.upper(), args)
+    if isinstance(node, BinaryOp):
+        return (
+            "arith",
+            node.op,
+            _expr_sig(node.left, aliases, sole),
+            _expr_sig(node.right, aliases, sole),
+        )
+    if isinstance(node, Subquery):
+        return ("subquery", em_signature(node.query))
+    raise TypeError(f"unexpected expression node {type(node).__name__}")
+
+
+def _order_sig(item: OrderItem, aliases: dict, sole: Optional[str]) -> tuple:
+    return (_expr_sig(item.expr, aliases, sole), item.direction)
+
+
+# -- FROM ----------------------------------------------------------------------
+
+
+def _from_signature(
+    from_clause: Optional[FromClause], aliases: dict, sole: Optional[str]
+) -> tuple:
+    if from_clause is None:
+        return frozenset(), frozenset()
+    tables = []
+    for source in from_clause.sources():
+        if isinstance(source, TableRef):
+            tables.append(source.name.lower())
+        else:
+            tables.append(("subquery", em_signature(source.query)))
+    conds = []
+    for join in from_clause.joins:
+        if join.on is None:
+            continue
+        sig = _cond_sig(join.on, aliases, sole)
+        conds.append(_symmetrize(sig))
+    return frozenset(tables), frozenset(conds)
+
+
+def _symmetrize(sig):
+    """Join conditions ``a = b`` and ``b = a`` are the same component."""
+    if (
+        isinstance(sig, tuple)
+        and len(sig) == 4
+        and sig[0] == "cmp"
+        and sig[1] == "="
+    ):
+        left, right = sig[2], sig[3]
+        lo, hi = sorted([left, right], key=repr)
+        return ("cmp", "=", lo, hi)
+    return sig
+
+
+# -- conditions -----------------------------------------------------------------
+
+
+def _cond_sig(node: Optional[Node], aliases: dict, sole: Optional[str]):
+    if node is None:
+        return None
+    if isinstance(node, BoolOp):
+        terms = frozenset(_cond_sig(t, aliases, sole) for t in node.terms)
+        return (node.op, terms)
+    if isinstance(node, Comparison):
+        return (
+            "cmp",
+            node.op,
+            _expr_sig(node.left, aliases, sole),
+            _expr_sig(node.right, aliases, sole),
+        )
+    if isinstance(node, InExpr):
+        if isinstance(node.source, ValueList):
+            source = ("values", _VALUE)
+        else:
+            source = _expr_sig(node.source, aliases, sole)
+        return ("in", node.negated, _expr_sig(node.left, aliases, sole), source)
+    if isinstance(node, LikeExpr):
+        return ("like", node.negated, _expr_sig(node.left, aliases, sole), _VALUE)
+    if isinstance(node, BetweenExpr):
+        return ("between", node.negated, _expr_sig(node.left, aliases, sole))
+    if isinstance(node, IsNullExpr):
+        return ("isnull", node.negated, _expr_sig(node.left, aliases, sole))
+    raise TypeError(f"unexpected condition node {type(node).__name__}")

@@ -1,0 +1,69 @@
+"""Execution Match (EX) — result-set equivalence on the actual database.
+
+Gold and prediction both execute; results compare as multisets of rows,
+or as ordered sequences when the gold query has a top-level ORDER BY.
+Floats are compared with rounding so SQLite's AVG noise does not flip
+verdicts.
+"""
+
+from __future__ import annotations
+
+from repro.schema.sqlite_backend import ExecutionResult, SQLiteExecutor
+from repro.sqlkit.errors import SQLError
+from repro.sqlkit.parser import parse_sql
+
+_FLOAT_DIGITS = 4
+
+
+def execution_match(
+    executor: SQLiteExecutor,
+    db_key: str,
+    gold_sql: str,
+    predicted_sql: str,
+) -> bool:
+    """True when the prediction's result matches the gold's."""
+    gold_result = executor.execute(db_key, gold_sql)
+    if not gold_result.ok:
+        raise ValueError(f"gold SQL failed to execute: {gold_result.error}")
+    pred_result = executor.execute(db_key, predicted_sql)
+    if not pred_result.ok:
+        return False
+    ordered = _gold_is_ordered(gold_sql)
+    return results_equal(gold_result, pred_result, ordered=ordered)
+
+
+def results_equal(
+    gold: ExecutionResult, pred: ExecutionResult, ordered: bool = False
+) -> bool:
+    """Compare two execution results (multiset or ordered)."""
+    assert gold.rows is not None and pred.rows is not None
+    gold_rows = [_normalize_row(r) for r in gold.rows]
+    pred_rows = [_normalize_row(r) for r in pred.rows]
+    if len(gold_rows) != len(pred_rows):
+        return False
+    if gold_rows and len(gold_rows[0]) != len(pred_rows[0]):
+        return False
+    if ordered:
+        return gold_rows == pred_rows
+    return sorted(gold_rows, key=_key) == sorted(pred_rows, key=_key)
+
+
+def _normalize_row(row: tuple) -> tuple:
+    return tuple(
+        round(v, _FLOAT_DIGITS) if isinstance(v, float) else v for v in row
+    )
+
+
+def _key(row: tuple):
+    return tuple((v is None, type(v).__name__, str(v)) for v in row)
+
+
+def _gold_is_ordered(gold_sql: str) -> bool:
+    try:
+        query = parse_sql(gold_sql)
+    except SQLError:
+        return False
+    # Only the final core's ORDER BY orders a compound query's output.
+    core = query.compounds[-1][1] if query.compounds else query.core
+    final = core.core if hasattr(core, "core") else core
+    return bool(final.order_by)

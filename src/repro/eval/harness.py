@@ -1,0 +1,182 @@
+"""The experiment harness: run an approach over a dataset, score it.
+
+An *approach* is anything implementing the small protocol below —
+PURPLE, every baseline, and ablated variants all plug in the same way,
+which is how the benchmark scripts regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.eval.cost import TokenUsage
+from repro.eval.exact_match import exact_set_match
+from repro.eval.execution import execution_match
+from repro.eval.test_suite import TestSuite, build_test_suite
+from repro.schema import Database, SQLiteExecutor
+from repro.spider.dataset import Dataset
+
+HARDNESS_ORDER = ("easy", "medium", "hard", "extra")
+
+
+@dataclass
+class TranslationTask:
+    """What an approach sees for one query: the question and the database.
+
+    The gold SQL is deliberately *not* part of the task.
+    """
+
+    question: str
+    database: Database
+
+    @property
+    def db_id(self) -> str:
+        """The task database's identifier."""
+        return self.database.db_id
+
+
+@dataclass
+class TranslationResult:
+    """An approach's answer plus its API cost."""
+
+    sql: str
+    usage: TokenUsage = field(default_factory=TokenUsage)
+
+
+class NL2SQLApproach(Protocol):
+    """The protocol every approach implements."""
+
+    name: str
+
+    def translate(self, task: TranslationTask) -> TranslationResult:
+        """Translate one NL question to SQL (NL2SQLApproach protocol)."""
+        ...
+
+
+@dataclass
+class ExampleOutcome:
+    """Per-example scoring record."""
+
+    ex_id: str
+    hardness: str
+    predicted_sql: str
+    em: bool
+    ex: bool
+    ts: Optional[bool] = None
+    usage: TokenUsage = field(default_factory=TokenUsage)
+
+
+@dataclass
+class EvaluationReport:
+    """Aggregated metrics for one (approach, dataset) run."""
+
+    approach: str
+    dataset: str
+    outcomes: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def em(self) -> float:
+        """Exact-set-match accuracy."""
+        return _rate([o.em for o in self.outcomes])
+
+    @property
+    def ex(self) -> float:
+        """Execution-match accuracy."""
+        return _rate([o.ex for o in self.outcomes])
+
+    @property
+    def ts(self) -> float:
+        """Test-suite accuracy over the scored outcomes."""
+        scored = [o.ts for o in self.outcomes if o.ts is not None]
+        return _rate(scored)
+
+    def by_hardness(self, metric: str = "em") -> dict:
+        """Per-hardness-level accuracy for the given metric."""
+        buckets: dict[str, list[bool]] = {}
+        for outcome in self.outcomes:
+            value = getattr(outcome, metric)
+            if value is None:
+                continue
+            buckets.setdefault(outcome.hardness, []).append(value)
+        return {
+            level: _rate(buckets[level])
+            for level in HARDNESS_ORDER
+            if level in buckets
+        }
+
+    @property
+    def usage(self) -> TokenUsage:
+        """Total token usage across all outcomes."""
+        total = TokenUsage()
+        for outcome in self.outcomes:
+            total.add(outcome.usage)
+        return total
+
+    def tokens_per_query(self) -> int:
+        """Average total tokens per evaluated query."""
+        if not self.outcomes:
+            return 0
+        return self.usage.total_tokens // len(self.outcomes)
+
+
+def _rate(values: list) -> float:
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v) / len(values)
+
+
+def evaluate_approach(
+    approach: NL2SQLApproach,
+    dataset: Dataset,
+    test_suites: Optional[dict] = None,
+    limit: Optional[int] = None,
+) -> EvaluationReport:
+    """Run ``approach`` over ``dataset`` and compute EM/EX (and TS when
+    suites are supplied as ``{db_id: TestSuite}``)."""
+    report = EvaluationReport(approach=approach.name, dataset=dataset.name)
+    examples = dataset.examples[:limit] if limit else dataset.examples
+    with SQLiteExecutor() as executor:
+        for db_id in {ex.db_id for ex in examples}:
+            executor.register(dataset.database(db_id))
+        for example in examples:
+            task = TranslationTask(
+                question=example.question,
+                database=dataset.database(example.db_id),
+            )
+            result = approach.translate(task)
+            em = exact_set_match(example.sql, result.sql)
+            ex = execution_match(executor, example.db_id, example.sql, result.sql)
+            ts = None
+            if test_suites is not None and example.db_id in test_suites:
+                ts = test_suites[example.db_id].match(example.sql, result.sql)
+            report.outcomes.append(
+                ExampleOutcome(
+                    ex_id=example.ex_id,
+                    hardness=example.hardness,
+                    predicted_sql=result.sql,
+                    em=em,
+                    ex=ex,
+                    ts=ts,
+                    usage=result.usage,
+                )
+            )
+    return report
+
+
+def build_suites_for_dataset(
+    dataset: Dataset, folds: int = 6, seed: int = 0
+) -> dict:
+    """One distilled test suite per database in the dataset."""
+    suites = {}
+    sql_by_db: dict[str, list] = {}
+    for ex in dataset.examples:
+        sql_by_db.setdefault(ex.db_id, []).append(ex.sql)
+    for db_id, database in dataset.databases.items():
+        suites[db_id] = build_test_suite(
+            database, sql_by_db.get(db_id, []), folds=folds, seed=seed
+        )
+    return suites

@@ -1,0 +1,92 @@
+"""Render evaluation results as markdown / CSV / plain tables.
+
+The benchmark suite prints paper-style tables; this module gives library
+users the same rendering for their own experiment matrices:
+
+    reports = {"purple": report_a, "dail": report_b}
+    print(markdown_table(reports))
+    save_csv(reports, "results.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional
+
+from repro.eval.harness import HARDNESS_ORDER, EvaluationReport
+
+_METRICS = ("em", "ex", "ts")
+
+
+def summary_rows(reports: dict, include_ts: bool = False) -> list:
+    """One row per report: name, EM, EX, (TS), tokens/query, n."""
+    rows = []
+    for name, report in reports.items():
+        row = {
+            "approach": name,
+            "em": round(report.em, 4),
+            "ex": round(report.ex, 4),
+        }
+        if include_ts:
+            row["ts"] = round(report.ts, 4)
+        row["tokens_per_query"] = report.tokens_per_query()
+        row["queries"] = len(report)
+        rows.append(row)
+    return rows
+
+
+def markdown_table(reports: dict, include_ts: bool = False) -> str:
+    """A GitHub-flavoured markdown summary table."""
+    rows = summary_rows(reports, include_ts=include_ts)
+    if not rows:
+        return ""
+    headers = list(rows[0])
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        cells = []
+        for header in headers:
+            value = row[header]
+            if header in _METRICS:
+                cells.append(f"{100 * value:.1f}%")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def hardness_table(report: EvaluationReport, metric: str = "em") -> str:
+    """Markdown breakdown of one report by hardness level."""
+    buckets = report.by_hardness(metric)
+    headers = [level for level in HARDNESS_ORDER if level in buckets]
+    lines = [
+        "| " + " | ".join([metric.upper(), *headers]) + " |",
+        "| " + " | ".join("---" for _ in range(len(headers) + 1)) + " |",
+        "| "
+        + " | ".join(
+            [report.approach, *(f"{100 * buckets[h]:.1f}%" for h in headers)]
+        )
+        + " |",
+    ]
+    return "\n".join(lines)
+
+
+def to_csv(reports: dict, include_ts: bool = False) -> str:
+    """CSV text with one row per report."""
+    rows = summary_rows(reports, include_ts=include_ts)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def save_csv(reports: dict, path, include_ts: bool = False) -> None:
+    """Write :func:`to_csv` output to a file."""
+    Path(path).write_text(to_csv(reports, include_ts=include_ts))

@@ -1,0 +1,45 @@
+"""LLM provider interface — the surface PURPLE and the baselines call.
+
+Mirrors a chat-completion API: a prompt in, ``n`` completions out, token
+accounting attached.  :class:`~repro.llm.mock_llm.MockLLM` implements it;
+a real provider could be dropped in with the same contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass
+class LLMRequest:
+    """One completion request."""
+
+    prompt: str
+    n: int = 1  # number of samples (the paper's consistency number)
+    temperature: float = 1.0
+    max_input_tokens: int = 4096
+
+
+@dataclass
+class LLMResponse:
+    """Completions plus usage."""
+
+    texts: list = field(default_factory=list)
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+
+    @property
+    def text(self) -> str:
+        """The first (greedy) completion."""
+        return self.texts[0] if self.texts else ""
+
+
+class LLM(Protocol):
+    """Anything that can complete prompts."""
+
+    name: str
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Produce ``n`` completions for the prompt."""
+        ...

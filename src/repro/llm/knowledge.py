@@ -1,0 +1,122 @@
+"""The simulated LLM's world knowledge.
+
+Real LLMs know from pretraining that "nationality" means *country* and
+that "teenagers" means *age < 20*.  The simulator gets the equivalent:
+a thesaurus (schema-term synonym → canonical identifier phrase) and a
+domain-knowledge fact table, both harvested from the domain library.
+
+Coverage is profile-dependent and *deterministic per phrase*: a phrase is
+known to a profile iff ``stable_hash(phrase) % 100 < coverage * 100``.
+ChatGPT knows a smaller share than GPT4, which is what degrades the
+Spider-SYN and Spider-DK variants by different amounts per model —
+mirroring Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.spider.domains import all_domains
+from repro.utils.rng import stable_hash
+
+
+@dataclass(frozen=True)
+class DKKnowledge:
+    """One known domain-knowledge paraphrase."""
+
+    phrase: str
+    column_phrase: str  # canonical identifier phrase of the column
+    op: str
+    value: object
+    value2: object = None
+
+
+@lru_cache(maxsize=1)
+def build_thesaurus() -> dict:
+    """Map every synonym phrase to its canonical identifier phrase.
+
+    Canonical phrase = the identifier with underscores as spaces, which is
+    what appears in prompts.  Natural names that differ from the identifier
+    (e.g. column ``written_by`` with natural name "writer") are included as
+    always-known aliases — any competent LLM bridges that gap.
+    """
+    thesaurus: dict = {}
+    for blueprint in all_domains():
+        for table in blueprint.tables:
+            canon = table.name.replace("_", " ")
+            _add(thesaurus, table.natural, canon, known_always=True)
+            for synonym in table.synonyms:
+                _add(thesaurus, synonym, canon, known_always=False)
+            for column in table.columns:
+                canon_col = column.name.replace("_", " ")
+                _add(thesaurus, column.natural, canon_col, known_always=True)
+                for synonym in column.synonyms:
+                    _add(thesaurus, synonym, canon_col, known_always=False)
+    return thesaurus
+
+
+def _add(thesaurus: dict, phrase: str, canonical: str, known_always: bool) -> None:
+    phrase = phrase.lower().strip()
+    if phrase == canonical:
+        return
+    entry = thesaurus.setdefault(phrase, {"canonical": [], "always": known_always})
+    if canonical not in entry["canonical"]:
+        entry["canonical"].append(canonical)
+    entry["always"] = entry["always"] or known_always
+
+
+@lru_cache(maxsize=1)
+def build_dk_table() -> dict:
+    """Map every domain-knowledge phrase to its condition template."""
+    table: dict = {}
+    for blueprint in all_domains():
+        for fact in blueprint.dk_facts:
+            value, value2 = fact.value, None
+            if fact.op == "between":
+                value, value2 = fact.value  # type: ignore[misc]
+            table[fact.phrase.lower()] = DKKnowledge(
+                phrase=fact.phrase.lower(),
+                column_phrase=fact.column.replace("_", " "),
+                op=fact.op,
+                value=value,
+                value2=value2,
+            )
+    return table
+
+
+def knows_phrase(phrase: str, coverage: float, scope: str = "syn") -> bool:
+    """Deterministic per-phrase coverage gate."""
+    return (stable_hash(scope, phrase.lower()) % 100) < int(coverage * 100)
+
+
+def lookup_synonym(phrase: str, coverage: float) -> list:
+    """Canonical identifier phrases for a synonym the model knows.
+
+    Questions pluralize surface forms ("clinics" for the synonym
+    "clinic"), so the lookup also tries the word-wise singular form.
+    """
+    from repro.utils.text import singularize, split_words
+
+    thesaurus = build_thesaurus()
+    candidates = [phrase.lower()]
+    singular = " ".join(singularize(w) for w in split_words(phrase))
+    if singular != phrase.lower():
+        candidates.append(singular)
+    for candidate in candidates:
+        entry = thesaurus.get(candidate)
+        if entry is None:
+            continue
+        if entry["always"] or knows_phrase(candidate, coverage, scope="syn"):
+            return list(entry["canonical"])
+    return []
+
+
+def lookup_dk(phrase: str, coverage: float):
+    """The condition for a DK phrase, if this profile knows it."""
+    fact = build_dk_table().get(phrase.lower())
+    if fact is None:
+        return None
+    if knows_phrase(phrase, coverage, scope="dk"):
+        return fact
+    return None

@@ -1,0 +1,75 @@
+"""Capability profiles calibrating the simulated LLMs.
+
+Two profiles mirror the paper's models: a ChatGPT-like model (weaker
+linking, stronger "basic SQL" bias, more hallucination) and a GPT4-like
+model.  The numbers were calibrated so that the zero-shot/few-shot/
+pipeline accuracies land in the neighbourhood of Table 4's orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LLMProfile:
+    """Behavioural parameters of one simulated LLM."""
+
+    name: str
+
+    # -- NL understanding ------------------------------------------------------
+    filter_miss: float          # P(drop one predicate while reading)
+    column_confusion: float     # P(wrong column among lexical near-ties)
+    synonym_coverage: float     # fraction of schema-term synonyms known
+    dk_coverage: float          # fraction of domain-knowledge facts known
+    value_link_skill: float     # P(resolve a bare value to its column)
+
+    # -- SQL realization --------------------------------------------------------
+    prior_gold_affinity: float  # 0 = pure "basic SQL" prior, 1 = corpus prior
+    demo_follow: float          # P(follow a skeleton-matched demonstration)
+    distinct_prior: float       # P(DISTINCT when the NL leaves it ambiguous)
+
+    # -- degeneration ------------------------------------------------------------
+    hallucination_rate: float   # P(inject one Table-2 error per completion)
+    sample_noise: float         # extra understanding noise for samples > 1
+
+
+CHATGPT = LLMProfile(
+    name="chatgpt",
+    filter_miss=0.06,
+    column_confusion=0.22,
+    synonym_coverage=0.78,
+    dk_coverage=0.75,
+    value_link_skill=0.75,
+    prior_gold_affinity=0.10,
+    demo_follow=0.88,
+    distinct_prior=0.25,
+    hallucination_rate=0.12,
+    sample_noise=0.10,
+)
+
+GPT4 = LLMProfile(
+    name="gpt4",
+    filter_miss=0.03,
+    column_confusion=0.12,
+    synonym_coverage=0.90,
+    dk_coverage=0.88,
+    value_link_skill=0.90,
+    prior_gold_affinity=0.30,
+    demo_follow=0.96,
+    distinct_prior=0.35,
+    hallucination_rate=0.06,
+    sample_noise=0.07,
+)
+
+_PROFILES = {p.name: p for p in (CHATGPT, GPT4)}
+
+
+def profile_by_name(name: str) -> LLMProfile:
+    """Look up a calibrated profile by name."""
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown LLM profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Trainable PLM substrates.
+
+The paper fine-tunes two pre-trained models: a RESDSQL-style cross-encoder
+that scores schema items against the question (used by schema pruning) and
+a T5-3B skeleton generator decoded with beam search (used by skeleton
+prediction).  Neither checkpoint is available offline, so this package
+implements both as from-scratch trainable models over engineered features:
+a focal-loss logistic-regression classifier and a feature-conditioned
+softmax sequence model.  They expose exactly the interfaces the pipeline
+needs — per-item relevance probabilities and top-k skeletons with
+probabilities — including the realistic failure modes (synonymy and
+implicit mentions lower confidence).
+"""
+
+from repro.plm.classifier import SchemaItemClassifier, train_schema_classifier
+from repro.plm.features import question_cues, schema_item_features
+from repro.plm.labels import used_schema_items
+from repro.plm.skeleton_model import SkeletonPredictor, train_skeleton_predictor
+
+__all__ = [
+    "SchemaItemClassifier",
+    "train_schema_classifier",
+    "question_cues",
+    "schema_item_features",
+    "used_schema_items",
+    "SkeletonPredictor",
+    "train_skeleton_predictor",
+]

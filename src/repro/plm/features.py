@@ -1,0 +1,212 @@
+"""Feature engineering for the PLM substrates.
+
+``schema_item_features`` featurizes a (question, schema item) pair for the
+relevance classifier; ``question_cues`` extracts the operator-composition
+cue indicators that condition the skeleton sequence model.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.schema import Database, Schema
+from repro.utils.text import singularize, split_words
+
+SCHEMA_FEATURE_DIM = 12
+
+# Cue indicators, in order.  Each is (name, regex) over the lowercase
+# question; the skeleton model conditions on this binary vector.
+CUE_PATTERNS = (
+    ("how_many", r"\bhow many\b"),
+    ("count_the", r"\bcount\b"),
+    ("different", r"\bdifferent\b|\bdistinct\b|\bunique\b"),
+    ("average", r"\baverage\b"),
+    ("maximum", r"\bmaximum\b"),
+    ("minimum", r"\bminimum\b"),
+    ("total", r"\btotal\b"),
+    ("at_least", r"\bat least\b"),
+    ("at_most", r"\bat most\b"),
+    ("greater", r"\bgreater than\b|\bmore than\b|\babove\b|\bexceed"),
+    ("less", r"\bless than\b|\bbelow\b|\bunder\b"),
+    ("between", r"\bbetween\b"),
+    ("contains", r"\bcontain|\bstarts with\b|\bends with\b|\brelated to\b"),
+    ("not_equal", r"\bis not\b|\bnot with\b"),
+    ("negation", r"\bdo not\b|\bdoes not\b|\bdon't\b|\bnever\b|\bwithout\b|\bno\b"),
+    ("highest", r"\bhighest\b|\blargest\b|\bbiggest\b"),
+    ("lowest", r"\blowest\b|\bsmallest\b"),
+    ("most", r"\bthe most\b"),
+    ("fewest", r"\bthe fewest\b|\bthe least\b"),
+    ("sorted", r"\bsort|\border\b|\bascending\b|\bdescending\b"),
+    ("descending", r"\bdescending\b"),
+    ("for_each", r"\bfor each\b|\bof each\b|\bper\b|\beach\b"),
+    ("number_of", r"\bnumber of\b"),
+    ("both", r"\bboth\b"),
+    ("either_or", r"\bor\b"),
+    ("and_filter", r"\band\b"),
+    ("average_compare", r"\babove the average\b|\bbelow the average\b"),
+    ("top_k", r"\bthe \d+ \b"),
+    ("who", r"\bwho\b"),
+    ("among", r"\bamong\b"),
+    ("quoted_value", r"'[^']+'"),
+    ("numeric_value", r"\b\d+\b"),
+    ("of_their", r"\bits\b|\btheir\b"),
+    # Annotation-convention phrasings (each correlates with a realization).
+    ("no_at_all", r"\bhave no\b.*\bat all\b"),
+    ("is_the_extreme", r"\bis the maximum\b|\bis the minimum\b"),
+    ("as_well_as", r"\bas well as\b"),
+    ("either", r"\beither\b"),
+    ("belonging_to", r"\bbelonging to\b"),
+    ("more_than_n", r"\bmore than \d+\b"),
+    ("at_least_n", r"\bat least \d+\b"),
+    ("greatest_number", r"\bgreatest number\b"),
+    ("count_of_distinct", r"\bcount of distinct\b"),
+    ("count_the_each", r"^count the\b"),
+)
+
+CUE_DIM = len(CUE_PATTERNS)
+
+# Cues that signal an annotation convention (each correlates with one SQL
+# realization).  The simulated LLM compares these between the task question
+# and each demonstration's question — attending to a same-phrasing
+# demonstration is how in-context learning picks the right variant even
+# when it is not the first demonstration in the prompt.
+CONVENTION_CUES = frozenset(
+    {
+        "no_at_all",
+        "negation",
+        "is_the_extreme",
+        "highest",
+        "lowest",
+        "as_well_as",
+        "both",
+        "either",
+        "belonging_to",
+        "more_than_n",
+        "at_least_n",
+        "greatest_number",
+        "most",
+        "count_of_distinct",
+        "count_the_each",
+        "different",
+        "between",
+    }
+)
+
+
+def convention_cues(question: str) -> frozenset:
+    """The convention-signalling cues firing in a question."""
+    return frozenset(cue_names(question) & CONVENTION_CUES)
+
+_CUE_REGEX = [(name, re.compile(pattern)) for name, pattern in CUE_PATTERNS]
+
+
+def question_cues(question: str) -> np.ndarray:
+    """Binary cue-indicator vector for a question."""
+    text = question.lower()
+    return np.array(
+        [1.0 if regex.search(text) else 0.0 for _, regex in _CUE_REGEX],
+        dtype=float,
+    )
+
+
+def cue_names(question: str) -> set:
+    """Names of the cues firing in a question (used in tests/diagnostics)."""
+    text = question.lower()
+    return {name for name, regex in _CUE_REGEX if regex.search(text)}
+
+
+def schema_item_features(
+    question: str,
+    schema: Schema,
+    item_table: str,
+    item_column: str = "",
+    database: Database = None,
+) -> np.ndarray:
+    """Featurize a (question, schema item) pair.
+
+    ``item_column`` empty means the item is the table itself.  Features
+    capture lexical overlap between the question and the item's natural
+    name, value mentions, and structural hints (primary/foreign key).
+    """
+    q_words = split_words(question)
+    q_set = {singularize(w) for w in q_words}
+    q_text = " " + " ".join(singularize(w) for w in q_words) + " "
+
+    table = schema.table(item_table)
+    if item_column:
+        natural = table.column(item_column).natural_name
+    else:
+        natural = table.natural_name
+    item_words = [singularize(w) for w in split_words(natural)]
+    item_phrase = " " + " ".join(item_words) + " "
+
+    overlap = sum(1 for w in item_words if w in q_set)
+    full_phrase = 1.0 if item_phrase in q_text else 0.0
+    coverage = overlap / len(item_words) if item_words else 0.0
+
+    # Character-trigram similarity (catches partial morphology).
+    char_sim = _trigram_similarity("".join(item_words), "".join(sorted(q_set)))
+
+    value_hit = 0.0
+    if item_column and database is not None:
+        value_hit = _value_mentioned(question, database, item_table, item_column)
+
+    is_pk = 0.0
+    is_fk = 0.0
+    table_mentioned = 0.0
+    if item_column:
+        is_pk = 1.0 if (table.primary_key or "").lower() == item_column.lower() else 0.0
+        for fk in schema.foreign_keys:
+            src_t, src_c, dst_t, dst_c = fk.normalized()
+            if (src_t, src_c) == (item_table.lower(), item_column.lower()):
+                is_fk = 1.0
+            if (dst_t, dst_c) == (item_table.lower(), item_column.lower()):
+                is_fk = 1.0
+        t_words = [singularize(w) for w in split_words(table.natural_name)]
+        table_mentioned = (
+            sum(1 for w in t_words if w in q_set) / len(t_words) if t_words else 0.0
+        )
+
+    n_tables, n_columns = schema.size()
+    return np.array(
+        [
+            1.0,  # bias
+            float(overlap),
+            coverage,
+            full_phrase,
+            char_sim,
+            value_hit,
+            is_pk,
+            is_fk,
+            table_mentioned,
+            1.0 if item_column else 0.0,  # item is a column
+            min(n_tables, 10) / 10.0,
+            min(n_columns, 50) / 50.0,
+        ],
+        dtype=float,
+    )
+
+
+def _trigram_similarity(a: str, b: str) -> float:
+    ta = {a[i : i + 3] for i in range(max(0, len(a) - 2))}
+    tb = {b[i : i + 3] for i in range(max(0, len(b) - 2))}
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta)
+
+
+def _value_mentioned(
+    question: str, database: Database, table: str, column: str
+) -> float:
+    text = question.lower()
+    values = database.column_values(table, column, limit=50)
+    for value in values:
+        if isinstance(value, str) and len(value) >= 3 and value.lower() in text:
+            return 1.0
+        if isinstance(value, (int, float)) and re.search(
+            rf"\b{re.escape(str(value))}\b", text
+        ):
+            return 1.0
+    return 0.0

@@ -1,0 +1,265 @@
+"""Relational schema and database model.
+
+These classes are the ``D = <T, C, P, F>`` of the paper (§IV-A1): tables,
+columns, primary keys, and foreign-primary key pairs, plus (for
+demonstrations, §III-A) a small set of representative values per column and
+the actual rows used by the execution-match evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.utils.text import normalize_identifier
+
+
+@dataclass
+class Column:
+    """A single column.
+
+    ``col_type`` is one of ``"text"``, ``"integer"``, ``"real"``.
+    ``natural_name`` is the human-readable phrase used in NL questions
+    (e.g. ``"invoice date"`` for ``invoice_date``).
+    """
+
+    name: str
+    col_type: str = "text"
+    natural_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.natural_name:
+            self.natural_name = self.name.replace("_", " ")
+
+    @property
+    def key(self) -> str:
+        """Lowercase lookup key of this identifier."""
+        return normalize_identifier(self.name)
+
+
+@dataclass
+class Table:
+    """A table: columns plus an optional single-column primary key."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    primary_key: Optional[str] = None
+    natural_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.natural_name:
+            self.natural_name = self.name.replace("_", " ")
+
+    @property
+    def key(self) -> str:
+        """Lowercase lookup key of this identifier."""
+        return normalize_identifier(self.name)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        target = normalize_identifier(name)
+        for col in self.columns:
+            if col.key == target:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with this name exists (case-insensitive)."""
+        target = normalize_identifier(name)
+        return any(col.key == target for col in self.columns)
+
+    def column_names(self) -> list[str]:
+        """Names of all columns, in order."""
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-primary key pair: ``src_table.src_column`` references
+    ``dst_table.dst_column``."""
+
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+    def normalized(self) -> tuple[str, str, str, str]:
+        """Lowercased (src_table, src_col, dst_table, dst_col)."""
+        return (
+            normalize_identifier(self.src_table),
+            normalize_identifier(self.src_column),
+            normalize_identifier(self.dst_table),
+            normalize_identifier(self.dst_column),
+        )
+
+
+@dataclass
+class Schema:
+    """A database schema: ``D = <T, C, P, F>``."""
+
+    db_id: str
+    tables: list[Table] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        target = normalize_identifier(name)
+        for tbl in self.tables:
+            if tbl.key == target:
+                return tbl
+        raise KeyError(f"no table {name!r} in database {self.db_id!r}")
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists (case-insensitive)."""
+        target = normalize_identifier(name)
+        return any(t.key == target for t in self.tables)
+
+    def table_names(self) -> list[str]:
+        """All table names, in schema order."""
+        return [t.name for t in self.tables]
+
+    def tables_with_column(self, column: str) -> list[Table]:
+        """All tables containing a column with the given name."""
+        return [t for t in self.tables if t.has_column(column)]
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        """Foreign keys touching the given table."""
+        target = normalize_identifier(table)
+        return [
+            fk
+            for fk in self.foreign_keys
+            if normalize_identifier(fk.src_table) == target
+            or normalize_identifier(fk.dst_table) == target
+        ]
+
+    def subset(self, keep: dict[str, Iterable[str]]) -> "Schema":
+        """Build the pruned schema keeping only ``{table: columns}``.
+
+        Primary keys of kept tables are always retained (§IV-A2); foreign
+        keys whose endpoints are no longer both present are discarded.
+        """
+        tables: list[Table] = []
+        for tbl in self.tables:
+            if tbl.key not in keep:
+                continue
+            wanted = {normalize_identifier(c) for c in keep[tbl.key]}
+            if tbl.primary_key:
+                wanted.add(normalize_identifier(tbl.primary_key))
+            cols = [c for c in tbl.columns if c.key in wanted]
+            tables.append(
+                Table(
+                    name=tbl.name,
+                    columns=cols,
+                    primary_key=tbl.primary_key,
+                    natural_name=tbl.natural_name,
+                )
+            )
+        kept_cols = {
+            t.key: {c.key for c in t.columns} for t in tables
+        }
+        fks = [
+            fk
+            for fk in self.foreign_keys
+            if fk.normalized()[0] in kept_cols
+            and fk.normalized()[2] in kept_cols
+            and fk.normalized()[1] in kept_cols[fk.normalized()[0]]
+            and fk.normalized()[3] in kept_cols[fk.normalized()[2]]
+        ]
+        return Schema(db_id=self.db_id, tables=tables, foreign_keys=fks)
+
+    def size(self) -> tuple[int, int]:
+        """(table count, total column count)."""
+        return len(self.tables), sum(len(t.columns) for t in self.tables)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "db_id": self.db_id,
+            "tables": [
+                {
+                    "name": t.name,
+                    "natural_name": t.natural_name,
+                    "primary_key": t.primary_key,
+                    "columns": [
+                        {
+                            "name": c.name,
+                            "col_type": c.col_type,
+                            "natural_name": c.natural_name,
+                        }
+                        for c in t.columns
+                    ],
+                }
+                for t in self.tables
+            ],
+            "foreign_keys": [
+                [fk.src_table, fk.src_column, fk.dst_table, fk.dst_column]
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Schema":
+        """Reconstruct from :meth:`to_dict` output."""
+        tables = [
+            Table(
+                name=t["name"],
+                natural_name=t.get("natural_name", ""),
+                primary_key=t.get("primary_key"),
+                columns=[
+                    Column(
+                        name=c["name"],
+                        col_type=c.get("col_type", "text"),
+                        natural_name=c.get("natural_name", ""),
+                    )
+                    for c in t["columns"]
+                ],
+            )
+            for t in data["tables"]
+        ]
+        fks = [ForeignKey(*entry) for entry in data.get("foreign_keys", [])]
+        return Schema(db_id=data["db_id"], tables=tables, foreign_keys=fks)
+
+
+@dataclass
+class Database:
+    """A schema together with its rows: ``{table_key: [row tuples]}``."""
+
+    schema: Schema
+    rows: dict[str, list[tuple]] = field(default_factory=dict)
+
+    @property
+    def db_id(self) -> str:
+        """The task database's identifier."""
+        return self.schema.db_id
+
+    def table_rows(self, table: str) -> list[tuple]:
+        """All rows of a table (empty when absent)."""
+        return self.rows.get(normalize_identifier(table), [])
+
+    def column_values(self, table: str, column: str, limit: int = 3) -> list:
+        """Representative values for a column (used in demonstration text,
+        following BRIDGE [19] as §III-A describes)."""
+        tbl = self.schema.table(table)
+        idx = [c.key for c in tbl.columns].index(normalize_identifier(column))
+        seen: list = []
+        for row in self.table_rows(table):
+            value = row[idx]
+            if value is not None and value not in seen:
+                seen.append(value)
+            if len(seen) >= limit:
+                break
+        return seen
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "schema": self.schema.to_dict(),
+            "rows": {k: [list(r) for r in v] for k, v in self.rows.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Database":
+        """Reconstruct from :meth:`to_dict` output."""
+        schema = Schema.from_dict(data["schema"])
+        rows = {k: [tuple(r) for r in v] for k, v in data["rows"].items()}
+        return Database(schema=schema, rows=rows)

@@ -1,0 +1,131 @@
+"""SQLite materialization and execution.
+
+The paper's evaluation executes SQL against the Spider SQLite databases;
+this module does the same for our synthetic databases via the standard
+library ``sqlite3``.  Executors cache connections per database and cap
+result size so a runaway query cannot stall an evaluation run.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.schema.model import Database
+
+_SQL_TYPE = {"text": "TEXT", "integer": "INTEGER", "real": "REAL"}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one SQL query.
+
+    ``rows`` is None when execution failed; ``error`` carries the DBMS
+    message in that case.
+    """
+
+    rows: Optional[list[tuple]] = None
+    error: Optional[str] = None
+    columns: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when execution succeeded."""
+        return self.error is None
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows under a deterministic total order (for unordered compare)."""
+        assert self.rows is not None
+        return sorted(self.rows, key=_row_sort_key)
+
+
+def _row_sort_key(row: tuple):
+    return tuple(
+        (value is None, str(type(value).__name__), str(value)) for value in row
+    )
+
+
+def create_sqlite(database: Database, path: str = ":memory:") -> sqlite3.Connection:
+    """Materialize a :class:`Database` into a SQLite connection."""
+    conn = sqlite3.connect(path)
+    conn.execute("PRAGMA foreign_keys = OFF")
+    for table in database.schema.tables:
+        cols = []
+        for col in table.columns:
+            decl = f'"{col.name}" {_SQL_TYPE.get(col.col_type, "TEXT")}'
+            if table.primary_key and col.key == table.primary_key.lower():
+                decl += " PRIMARY KEY"
+            cols.append(decl)
+        conn.execute(f'CREATE TABLE "{table.name}" ({", ".join(cols)})')
+        rows = database.table_rows(table.name)
+        if rows:
+            placeholders = ", ".join("?" for _ in table.columns)
+            conn.executemany(
+                f'INSERT INTO "{table.name}" VALUES ({placeholders})', rows
+            )
+    conn.commit()
+    return conn
+
+
+class SQLiteExecutor:
+    """Executes SQL against materialized databases with connection caching.
+
+    One executor instance is shared across an evaluation run; databases are
+    materialized lazily and kept in memory.
+    """
+
+    def __init__(self, max_rows: int = 10_000):
+        self.max_rows = max_rows
+        self._connections: dict[str, sqlite3.Connection] = {}
+        self._cache: dict[tuple[str, str], ExecutionResult] = {}
+
+    def register(self, database: Database, key: Optional[str] = None) -> str:
+        """Materialize a database and return its registry key."""
+        key = key or database.db_id
+        if key not in self._connections:
+            self._connections[key] = create_sqlite(database)
+        return key
+
+    def has(self, key: str) -> bool:
+        """Whether a database is registered under this key."""
+        return key in self._connections
+
+    def execute(self, key: str, sql: str) -> ExecutionResult:
+        """Execute SQL against a registered database (cached)."""
+        cache_key = (key, sql)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        conn = self._connections.get(key)
+        if conn is None:
+            result = ExecutionResult(error=f"unknown database {key!r}")
+        else:
+            result = self._run(conn, sql)
+        self._cache[cache_key] = result
+        return result
+
+    def _run(self, conn: sqlite3.Connection, sql: str) -> ExecutionResult:
+        try:
+            cursor = conn.execute(sql)
+            rows = cursor.fetchmany(self.max_rows + 1)
+            if len(rows) > self.max_rows:
+                return ExecutionResult(error="result exceeds row cap")
+            columns = (
+                [d[0] for d in cursor.description] if cursor.description else []
+            )
+            return ExecutionResult(rows=[tuple(r) for r in rows], columns=columns)
+        except sqlite3.Error as exc:
+            return ExecutionResult(error=str(exc))
+
+    def close(self) -> None:
+        """Release the underlying SQLite resources."""
+        for conn in self._connections.values():
+            conn.close()
+        self._connections.clear()
+        self._cache.clear()
+
+    def __enter__(self) -> "SQLiteExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

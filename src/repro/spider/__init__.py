@@ -1,0 +1,26 @@
+"""Synthetic Spider-style benchmark substrate.
+
+The real Spider datasets are not available offline, so this package
+generates a deterministic Spider-like corpus: multi-table databases across
+many domains, NL questions, and gold SQL covering the full hardness range.
+Variant corpora mirror Spider-DK (domain knowledge paraphrases), Spider-SYN
+(schema-term synonym substitution), and Spider-Realistic (no explicit
+column mentions).
+"""
+
+from repro.spider.dataset import Dataset, Example
+from repro.spider.generator import GeneratorConfig, generate_benchmark
+from repro.spider.intents import FilterSpec, IntentSpec
+from repro.spider.statistics import benchmark_statistics
+from repro.spider.variants import make_variant
+
+__all__ = [
+    "Dataset",
+    "Example",
+    "GeneratorConfig",
+    "generate_benchmark",
+    "FilterSpec",
+    "IntentSpec",
+    "benchmark_statistics",
+    "make_variant",
+]

@@ -1,0 +1,25 @@
+"""Query archetypes: intent sampling, SQL realization, and NL rendering.
+
+Each archetype models one family of question (count, superlative,
+exclusion, ...).  An archetype can realize an intent as SQL in one or more
+*realizations* — alternative logical operator compositions with identical
+or near-identical meaning.  The multiplicity of realizations is the heart
+of the reproduction: the gold annotation picks one, a naive LLM prior picks
+its own favourite, and PURPLE's demonstration selection is what teaches the
+LLM which composition the task at hand requires.
+"""
+
+from repro.spider.archetypes.base import Archetype, DomainContext
+from repro.spider.archetypes.registry import (
+    REGISTRY,
+    archetype_by_kind,
+    default_mix,
+)
+
+__all__ = [
+    "Archetype",
+    "DomainContext",
+    "REGISTRY",
+    "archetype_by_kind",
+    "default_mix",
+]

@@ -1,0 +1,414 @@
+"""Shared infrastructure for query archetypes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.schema import Database
+from repro.spider.blueprint import (
+    ColumnBlueprint,
+    DKFact,
+    DomainBlueprint,
+    TableBlueprint,
+)
+from repro.spider.intents import FilterSpec, IntentSpec
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    BetweenExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    JoinedTable,
+    LikeExpr,
+    Literal,
+    Node,
+    Query,
+    SelectCore,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+# NL styles supported by every archetype renderer.
+STYLES = ("plain", "syn", "realistic", "dk")
+
+_OP_PHRASES = {
+    "=": "is",
+    "!=": "is not",
+    ">": "is greater than",
+    "<": "is less than",
+    ">=": "is at least",
+    "<=": "is at most",
+    "like": "contains",
+    "between": "is between",
+}
+
+_REALISTIC_NUM = {
+    ">": "above",
+    "<": "below",
+    ">=": "at least",
+    "<=": "at most",
+}
+
+
+@dataclass
+class DomainContext:
+    """Everything an archetype needs about one concrete database."""
+
+    db: Database
+    blueprint: DomainBlueprint
+
+    # -- blueprint access -----------------------------------------------------
+
+    def table_bp(self, key: str) -> TableBlueprint:
+        """Blueprint of one table."""
+        return self.blueprint.table(self._base_table_name(key))
+
+    def column_bp(self, table: str, column: str) -> ColumnBlueprint:
+        """Column blueprint (name/type) for literal typing."""
+        return self.table_bp(table).column(column)
+
+    def _base_table_name(self, key: str) -> str:
+        # db_id variants share the blueprint's table names verbatim.
+        return key
+
+    # -- sampling pools -------------------------------------------------------
+
+    def queryable_columns(self, table: str, roles: tuple = ()) -> list[ColumnBlueprint]:
+        """Queryable column blueprints, optionally by role."""
+        cols = [c for c in self.table_bp(table).columns if c.queryable]
+        if roles:
+            cols = [c for c in cols if c.role in roles]
+        return cols
+
+    def display_column(self, table: str) -> Optional[ColumnBlueprint]:
+        """The human-facing column of a table (name/title if present)."""
+        for role in ("name", "title", "category"):
+            cols = self.queryable_columns(table, roles=(role,))
+            if cols:
+                return cols[0]
+        cols = self.queryable_columns(table)
+        return cols[0] if cols else None
+
+    def fk_pairs(self) -> list[tuple]:
+        """Foreign-key pairs of the domain."""
+        return self.blueprint.parent_child_pairs()
+
+    # -- NL phrases -----------------------------------------------------------
+
+    def phrase_table(self, key: str, style: str, rng: np.random.Generator) -> str:
+        """Surface form of a table for one NL style."""
+        bp = self.table_bp(key)
+        # Spider-SYN swaps schema terms for synonyms on *some* mentions,
+        # not every one; 70% substitution mirrors that.
+        if style == "syn" and bp.synonyms and rng.random() < 0.7:
+            return str(rng.choice(bp.synonyms))
+        return bp.natural
+
+    def phrase_column(
+        self, table: str, column: str, style: str, rng: np.random.Generator
+    ) -> str:
+        """Surface form of a column for one NL style."""
+        bp = self.column_bp(table, column)
+        if style == "syn" and bp.synonyms and rng.random() < 0.7:
+            return str(rng.choice(bp.synonyms))
+        return bp.natural
+
+    # -- value sampling ------------------------------------------------------
+
+    def column_values(self, table: str, column: str) -> list:
+        """Non-null values of one column."""
+        tbl = self.db.schema.table(table)
+        idx = [c.key for c in tbl.columns].index(column.lower())
+        return [
+            row[idx] for row in self.db.table_rows(table) if row[idx] is not None
+        ]
+
+    def sample_filter(
+        self,
+        table: str,
+        rng: np.random.Generator,
+        want_dk: bool = False,
+    ) -> Optional[FilterSpec]:
+        """Sample one predicate over ``table`` grounded in actual data.
+
+        With ``want_dk`` the filter is taken from a domain-knowledge fact
+        when one exists for this table, so the DK rendering has a phrase to
+        substitute.
+        """
+        if want_dk:
+            facts = [f for f in self.blueprint.dk_facts if f.table == table]
+            if facts:
+                fact: DKFact = facts[int(rng.integers(0, len(facts)))]
+                value2 = None
+                value = fact.value
+                if fact.op == "between":
+                    value, value2 = fact.value  # type: ignore[misc]
+                return FilterSpec(
+                    table=table,
+                    column=fact.column,
+                    op=fact.op,
+                    value=value,
+                    value2=value2,
+                    dk_phrase=fact.phrase,
+                )
+        candidates = self.queryable_columns(
+            table, roles=("category", "numeric", "year", "name", "title")
+        )
+        if not candidates:
+            return None
+        cb = candidates[int(rng.integers(0, len(candidates)))]
+        values = self.column_values(table, cb.name)
+        if not values:
+            return None
+        if cb.role == "category":
+            value = values[int(rng.integers(0, len(values)))]
+            op = "=" if rng.random() < 0.85 else "!="
+            return FilterSpec(table=table, column=cb.name, op=op, value=value)
+        if cb.role in ("numeric", "year"):
+            ordered = sorted(values)
+            pivot = ordered[int(rng.integers(0, len(ordered)))]
+            op = str(rng.choice(["=", ">", "<", ">=", "<=", "between"],
+                                p=[0.1, 0.3, 0.25, 0.15, 0.1, 0.1]))
+            if op == "between":
+                hi = ordered[int(rng.integers(0, len(ordered)))]
+                lo, hi = min(pivot, hi), max(pivot, hi)
+                if lo == hi:
+                    hi = lo + 1
+                return FilterSpec(table=table, column=cb.name, op=op,
+                                  value=lo, value2=hi)
+            return FilterSpec(table=table, column=cb.name, op=op, value=pivot)
+        # name/title -> LIKE on a word of an existing value
+        sample = str(values[int(rng.integers(0, len(values)))])
+        word = sample.split()[0]
+        return FilterSpec(table=table, column=cb.name, op="like", value=word)
+
+
+# ---------------------------------------------------------------------------
+# AST-building helpers
+# ---------------------------------------------------------------------------
+
+
+def colref(column: str, alias: Optional[str] = None) -> ColumnRef:
+    """Shorthand ColumnRef constructor."""
+    return ColumnRef(column=column, table=alias)
+
+
+def single_from(table: str) -> FromClause:
+    """FROM clause over one unaliased table."""
+    return FromClause(first=TableRef(name=table))
+
+
+def joined_from(fk: list, child_alias: str = "T1", parent_alias: str = "T2") -> FromClause:
+    """``FROM child AS T1 JOIN parent AS T2 ON T1.fkcol = T2.pkcol``."""
+    child_t, child_c, parent_t, parent_c = fk
+    return FromClause(
+        first=TableRef(name=child_t, alias=child_alias),
+        joins=[
+            JoinedTable(
+                source=TableRef(name=parent_t, alias=parent_alias),
+                on=Comparison(
+                    op="=",
+                    left=colref(child_c, child_alias),
+                    right=colref(parent_c, parent_alias),
+                ),
+            )
+        ],
+    )
+
+
+def literal_for(column_bp: ColumnBlueprint, value) -> Literal:
+    """Typed literal for a value of the given column."""
+    if column_bp.col_type in ("integer", "real") or isinstance(value, (int, float)):
+        return Literal.number(value)
+    return Literal.string(str(value))
+
+
+def filter_node(f: FilterSpec, ctx: DomainContext, alias: Optional[str]) -> Node:
+    """Build the AST predicate for one :class:`FilterSpec`."""
+    cb = ctx.column_bp(f.table, f.column)
+    left = colref(f.column, alias)
+    if f.op == "like":
+        return LikeExpr(left=left, pattern=Literal.string(f"%{f.value}%"))
+    if f.op == "between":
+        return BetweenExpr(
+            left=left,
+            low=literal_for(cb, f.value),
+            high=literal_for(cb, f.value2),
+        )
+    return Comparison(op=f.op, left=left, right=literal_for(cb, f.value))
+
+
+def conjunction(nodes: list[Node]) -> Optional[Node]:
+    """AND-join a list of predicates (None when empty)."""
+    if not nodes:
+        return None
+    if len(nodes) == 1:
+        return nodes[0]
+    return BoolOp(op="AND", terms=nodes)
+
+
+def where_from_filters(
+    filters: list[FilterSpec],
+    ctx: DomainContext,
+    alias_of: dict,
+) -> Optional[Node]:
+    """AND-conjunction of filters; ``alias_of`` maps table key → alias."""
+    return conjunction(
+        [filter_node(f, ctx, alias_of.get(f.table)) for f in filters]
+    )
+
+
+def projection_items(
+    projections: list,
+    alias_of: dict,
+    distinct_inside_agg: bool = False,
+) -> list[SelectItem]:
+    """SelectItems for intent projections, alias-resolved."""
+    items = []
+    for proj in projections:
+        if proj[0] == "col":
+            _, table, column = proj
+            items.append(SelectItem(expr=colref(column, alias_of.get(table))))
+        else:
+            _, func, table, column = proj
+            if column == "*":
+                arg: Node = Star()
+            else:
+                arg = colref(column, alias_of.get(table))
+            items.append(
+                SelectItem(expr=Agg(func=func, args=[arg], distinct=distinct_inside_agg))
+            )
+    return items
+
+
+def simple_query(core: SelectCore) -> Query:
+    """Wrap a core in a compound-free Query."""
+    return Query(core=core, compounds=[])
+
+
+# ---------------------------------------------------------------------------
+# NL-rendering helpers
+# ---------------------------------------------------------------------------
+
+
+def format_value(value, column_bp: ColumnBlueprint) -> str:
+    """Render a value for NL text (strings quoted)."""
+    if column_bp.col_type in ("integer", "real") or isinstance(value, (int, float)):
+        return str(value)
+    return f"'{value}'"
+
+
+def filter_phrase(
+    f: FilterSpec,
+    ctx: DomainContext,
+    style: str,
+    rng: np.random.Generator,
+) -> str:
+    """Render one predicate as an NL relative clause."""
+    if style == "dk" and f.dk_phrase:
+        return f"that are {f.dk_phrase}"
+    cb = ctx.column_bp(f.table, f.column)
+    value = format_value(f.value, cb)
+    if style == "realistic":
+        if f.op == "=":
+            return f"with {value}"
+        if f.op == "!=":
+            return f"not with {value}"
+        if f.op == "like":
+            return f"related to {value}"
+        if f.op == "between":
+            return f"between {value} and {format_value(f.value2, cb)}"
+        return f"with {_REALISTIC_NUM[f.op]} {value}"
+    col = ctx.phrase_column(f.table, f.column, style, rng)
+    if f.op == "between":
+        return (
+            f"whose {col} {_OP_PHRASES['between']} {value} "
+            f"and {format_value(f.value2, cb)}"
+        )
+    return f"whose {col} {_OP_PHRASES[f.op]} {value}"
+
+
+def join_phrases(phrases: list[str]) -> str:
+    """Join phrases with commas and a final 'and'."""
+    if len(phrases) <= 1:
+        return phrases[0] if phrases else ""
+    return ", ".join(phrases[:-1]) + " and " + phrases[-1]
+
+
+# ---------------------------------------------------------------------------
+# The archetype protocol
+# ---------------------------------------------------------------------------
+
+
+class Archetype:
+    """One family of NL2SQL tasks.
+
+    Subclasses define:
+
+    * ``kind`` — registry key;
+    * ``realizations`` — realization ids, first is the "simple" one;
+    * ``gold_weights`` — corpus distribution over realizations;
+    * ``sample(ctx, rng)`` — draw an :class:`IntentSpec` (without
+      realization) or None when the domain lacks the needed structure;
+    * ``build(intent, realization, ctx)`` — SQL AST for a realization;
+    * ``nl(intent, ctx, style, rng)`` — NL question in the given style.
+    """
+
+    kind: str = ""
+    realizations: tuple = ("plain",)
+    gold_weights: tuple = (1.0,)
+
+    def sample(self, ctx: DomainContext, rng: np.random.Generator) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        raise NotImplementedError
+
+    def build(self, intent: IntentSpec, realization: str, ctx: DomainContext) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        raise NotImplementedError
+
+    def nl(
+        self,
+        intent: IntentSpec,
+        ctx: DomainContext,
+        style: str,
+        rng: np.random.Generator,
+    ) -> str:
+        """Render the intent as an NL question in the given style."""
+        raise NotImplementedError
+
+    # -- shared conveniences --------------------------------------------------
+
+    def choose_gold_realization(
+        self, intent: IntentSpec, rng: np.random.Generator
+    ) -> str:
+        """Sample the gold realization per corpus weights."""
+        weights = np.asarray(self.gold_weights, dtype=float)
+        weights = weights / weights.sum()
+        return str(rng.choice(self.realizations, p=weights))
+
+    def candidate_realizations(self, intent: IntentSpec) -> tuple:
+        """Realizations an LLM could plausibly choose for this intent."""
+        return self.realizations
+
+    def choose_nl_variant(
+        self, intent: IntentSpec, rng: np.random.Generator,
+        consistency: float = 0.85,
+    ) -> str:
+        """Pick the phrasing variant for the question.
+
+        With probability ``consistency`` the phrasing follows the gold
+        realization (annotators are mostly systematic); otherwise a random
+        other realization's phrasing is used, which is the irreducible
+        annotation noise the paper's oracle-skeleton gap reflects.
+        """
+        if len(self.realizations) == 1:
+            return self.realizations[0]
+        if rng.random() < consistency:
+            return intent.realization
+        others = [r for r in self.realizations if r != intent.realization]
+        return str(rng.choice(others))

@@ -1,0 +1,401 @@
+"""Join and grouping archetypes over one foreign-key pair."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spider.archetypes.base import (
+    Archetype,
+    DomainContext,
+    colref,
+    filter_phrase,
+    projection_items,
+    simple_query,
+    single_from,
+    joined_from,
+    where_from_filters,
+)
+from repro.spider.intents import IntentSpec
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    Comparison,
+    InExpr,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    Star,
+    Subquery,
+)
+from repro.utils.text import pluralize
+
+
+def _pick_fk(ctx: DomainContext, rng: np.random.Generator) -> Optional[list]:
+    pairs = ctx.fk_pairs()
+    if not pairs:
+        return None
+    return list(pairs[int(rng.integers(0, len(pairs)))])
+
+
+def _alias_map(fk: list) -> dict:
+    """Child is T1, parent is T2 (Spider's usual layout)."""
+    return {fk[0]: "T1", fk[2]: "T2"}
+
+
+class JoinListArchetype(Archetype):
+    """Project one column from each side of a foreign key."""
+
+    kind = "join_list"
+    realizations = ("join",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        fk = _pick_fk(ctx, rng)
+        if fk is None:
+            return None
+        child, _, parent, _ = fk
+        child_col = ctx.display_column(child)
+        parent_col = ctx.display_column(parent)
+        if child_col is None or parent_col is None:
+            return None
+        filters = []
+        if rng.random() < 0.45:
+            side = child if rng.random() < 0.5 else parent
+            f = ctx.sample_filter(side, rng, want_dk=rng.random() < 0.3)
+            if f is not None and f.column not in (child_col.name, parent_col.name):
+                filters.append(f)
+        return IntentSpec(
+            kind=self.kind,
+            table=child,
+            projections=[
+                ["col", child, child_col.name],
+                ["col", parent, parent_col.name],
+            ],
+            filters=filters,
+            fk=fk,
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        aliases = _alias_map(intent.fk)
+        core = SelectCore(
+            items=projection_items(intent.projections, aliases),
+            from_clause=joined_from(intent.fk),
+            where=where_from_filters(intent.filters, ctx, aliases),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        child, _, parent, _ = intent.fk
+        childp = pluralize(ctx.phrase_table(child, style, rng))
+        parent_s = ctx.phrase_table(parent, style, rng)
+        ccol = ctx.phrase_column(child, intent.projections[0][2], style, rng)
+        pcol = ctx.phrase_column(parent, intent.projections[1][2], style, rng)
+        tail = ""
+        if intent.filters:
+            tail = " " + " and ".join(
+                filter_phrase(f, ctx, style, rng) for f in intent.filters
+            )
+        return (
+            f"For each of the {childp}{tail}, show its {ccol} and the "
+            f"{pcol} of its {parent_s}?"
+        )
+
+
+class JoinFilteredArchetype(Archetype):
+    """Child rows filtered by a parent attribute: JOIN vs IN-subquery."""
+
+    kind = "join_filtered"
+    realizations = ("join", "in_subquery")
+    gold_weights = (0.7, 0.3)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        fk = _pick_fk(ctx, rng)
+        if fk is None:
+            return None
+        child, _, parent, _ = fk
+        child_col = ctx.display_column(child)
+        if child_col is None:
+            return None
+        f = ctx.sample_filter(parent, rng, want_dk=rng.random() < 0.5)
+        if f is None:
+            return None
+        return IntentSpec(
+            kind=self.kind,
+            table=child,
+            projections=[["col", child, child_col.name]],
+            filters=[f],
+            fk=fk,
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        child, child_c, parent, parent_c = intent.fk
+        if realization == "join":
+            aliases = _alias_map(intent.fk)
+            core = SelectCore(
+                items=projection_items(intent.projections, aliases),
+                from_clause=joined_from(intent.fk),
+                where=where_from_filters(intent.filters, ctx, aliases),
+            )
+            return simple_query(core)
+        inner = SelectCore(
+            items=[SelectItem(expr=colref(parent_c))],
+            from_clause=single_from(parent),
+            where=where_from_filters(intent.filters, ctx, {}),
+        )
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            from_clause=single_from(child),
+            where=InExpr(
+                left=colref(child_c),
+                source=Subquery(query=simple_query(inner)),
+            ),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        child, _, parent, _ = intent.fk
+        childp = pluralize(ctx.phrase_table(child, style, rng))
+        parentp = pluralize(ctx.phrase_table(parent, style, rng))
+        ccol = ctx.phrase_column(child, intent.projections[0][2], style, rng)
+        fphrase = filter_phrase(intent.filters[0], ctx, style, rng)
+        head = str(rng.choice(["What are the", "Show the", "List the"]))
+        if intent.nl_variant == "in_subquery":
+            return f"{head} {ccol} of {childp} belonging to {parentp} {fphrase}?"
+        return f"{head} {ccol} of {childp} of {parentp} {fphrase}?"
+
+
+class GroupCountArchetype(Archetype):
+    """Children counted per parent: GROUP BY display name vs primary key."""
+
+    kind = "group_count"
+    realizations = ("group_name", "group_pk")
+    gold_weights = (0.65, 0.35)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        fk = _pick_fk(ctx, rng)
+        if fk is None:
+            return None
+        child, _, parent, _ = fk
+        parent_col = ctx.display_column(parent)
+        if parent_col is None:
+            return None
+        return IntentSpec(
+            kind=self.kind,
+            table=child,
+            projections=[
+                ["col", parent, parent_col.name],
+                ["agg", "COUNT", child, "*"],
+            ],
+            fk=fk,
+            group_by=[parent, parent_col.name],
+        )
+
+    def candidate_realizations(self, intent) -> tuple:
+        # The two realizations differ only in the GROUP BY column, which
+        # the skeleton cannot express; the question phrasing carries the
+        # convention instead, so an understood intent determines the
+        # realization outright (see Understander._group_count).
+        """Realizations an LLM could plausibly choose."""
+        if (
+            intent.group_by
+            and intent.fk
+            and intent.group_by[1].lower() == intent.fk[3].lower()
+        ):
+            return ("group_pk",)
+        return ("group_name",)
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        child, _, parent, parent_c = intent.fk
+        aliases = _alias_map(intent.fk)
+        group_col = (
+            intent.group_by[1] if realization == "group_name" else parent_c
+        )
+        core = SelectCore(
+            items=projection_items(intent.projections, aliases),
+            from_clause=joined_from(intent.fk),
+            group_by=[colref(group_col, aliases[parent])],
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        child, _, parent, _ = intent.fk
+        childp = pluralize(ctx.phrase_table(child, style, rng))
+        parent_s = ctx.phrase_table(parent, style, rng)
+        pcol = ctx.phrase_column(parent, intent.group_by[1], style, rng)
+        if intent.nl_variant == "group_pk":
+            return (
+                f"Count the {childp} of each {parent_s}. "
+                f"Show the {pcol} and the count?"
+            )
+        return (
+            f"For each {parent_s}, show its {pcol} and the number of "
+            f"{childp} it has?"
+        )
+
+
+class GroupHavingArchetype(Archetype):
+    """Parents with at least n children: HAVING >= n vs HAVING > n-1."""
+
+    kind = "group_having"
+    realizations = ("having_ge", "having_gt")
+    gold_weights = (0.75, 0.25)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        fk = _pick_fk(ctx, rng)
+        if fk is None:
+            return None
+        child, _, parent, _ = fk
+        parent_col = ctx.display_column(parent)
+        if parent_col is None:
+            return None
+        n = int(rng.integers(2, 5))
+        return IntentSpec(
+            kind=self.kind,
+            table=child,
+            projections=[["col", parent, parent_col.name]],
+            fk=fk,
+            group_by=[parent, parent_col.name],
+            having=["COUNT", ">=", n],
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        aliases = _alias_map(intent.fk)
+        parent = intent.fk[2]
+        n = intent.having[2]
+        if realization == "having_ge":
+            having = Comparison(
+                op=">=",
+                left=Agg(func="COUNT", args=[Star()]),
+                right=_num(n),
+            )
+        else:
+            having = Comparison(
+                op=">",
+                left=Agg(func="COUNT", args=[Star()]),
+                right=_num(n - 1),
+            )
+        core = SelectCore(
+            items=projection_items(intent.projections, aliases),
+            from_clause=joined_from(intent.fk),
+            group_by=[colref(intent.group_by[1], aliases[parent])],
+            having=having,
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        child, _, parent, _ = intent.fk
+        childp = pluralize(ctx.phrase_table(child, style, rng))
+        parentp = pluralize(ctx.phrase_table(parent, style, rng))
+        pcol = ctx.phrase_column(parent, intent.group_by[1], style, rng)
+        n = intent.having[2]
+        if intent.nl_variant == "having_gt":
+            return (
+                f"Which {parentp} have more than {n - 1} {childp}? "
+                f"Show their {pcol}?"
+            )
+        return (
+            f"Which {parentp} have at least {n} {childp}? "
+            f"Show their {pcol}?"
+        )
+
+
+class GroupArgmaxArchetype(Archetype):
+    """The parent with the most children: ORDER/LIMIT vs HAVING = (scalar)."""
+
+    kind = "group_argmax"
+    realizations = ("order_limit", "having_max")
+    gold_weights = (0.7, 0.3)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        fk = _pick_fk(ctx, rng)
+        if fk is None:
+            return None
+        child, _, parent, _ = fk
+        parent_col = ctx.display_column(parent)
+        if parent_col is None:
+            return None
+        return IntentSpec(
+            kind=self.kind,
+            table=child,
+            projections=[["col", parent, parent_col.name]],
+            fk=fk,
+            group_by=[parent, parent_col.name],
+            order=["count", "", "DESC"],
+            limit=1,
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        child, child_c, parent, _ = intent.fk
+        aliases = _alias_map(intent.fk)
+        group = [colref(intent.group_by[1], aliases[parent])]
+        if realization == "order_limit":
+            core = SelectCore(
+                items=projection_items(intent.projections, aliases),
+                from_clause=joined_from(intent.fk),
+                group_by=group,
+                order_by=[
+                    OrderItem(
+                        expr=Agg(func="COUNT", args=[Star()]), direction="DESC"
+                    )
+                ],
+                limit=1,
+            )
+            return simple_query(core)
+        scalar = SelectCore(
+            items=[SelectItem(expr=Agg(func="COUNT", args=[Star()]))],
+            from_clause=single_from(child),
+            group_by=[colref(child_c)],
+            order_by=[
+                OrderItem(expr=Agg(func="COUNT", args=[Star()]), direction="DESC")
+            ],
+            limit=1,
+        )
+        having = Comparison(
+            op="=",
+            left=Agg(func="COUNT", args=[Star()]),
+            right=Subquery(query=simple_query(scalar)),
+        )
+        core = SelectCore(
+            items=projection_items(intent.projections, aliases),
+            from_clause=joined_from(intent.fk),
+            group_by=group,
+            having=having,
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        child, _, parent, _ = intent.fk
+        childp = pluralize(ctx.phrase_table(child, style, rng))
+        parent_s = ctx.phrase_table(parent, style, rng)
+        pcol = ctx.phrase_column(parent, intent.group_by[1], style, rng)
+        if intent.nl_variant == "having_max":
+            return (
+                f"Which {parent_s} has the greatest number of {childp}? "
+                f"Show its {pcol}?"
+            )
+        return (
+            f"Which {parent_s} has the most {childp}? Show its {pcol}?"
+        )
+
+
+def _num(value) -> "Literal":
+    from repro.sqlkit.ast_nodes import Literal
+
+    return Literal.number(value)

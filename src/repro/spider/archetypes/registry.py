@@ -1,0 +1,90 @@
+"""Archetype registry and the default corpus mix.
+
+The mix weights are chosen so the generated corpus roughly matches
+Spider's hardness distribution (≈23% easy, 40% medium, 21% hard, 16%
+extra on the validation set).
+"""
+
+from __future__ import annotations
+
+from repro.spider.archetypes.base import Archetype
+from repro.spider.archetypes.join_group import (
+    GroupArgmaxArchetype,
+    GroupCountArchetype,
+    GroupHavingArchetype,
+    JoinFilteredArchetype,
+    JoinListArchetype,
+)
+from repro.spider.archetypes.nested import (
+    CompareToAvgArchetype,
+    ExclusionArchetype,
+    IntersectArchetype,
+    SuperlativeArchetype,
+    UnionArchetype,
+)
+from repro.spider.archetypes.simple import (
+    AggregateArchetype,
+    CountArchetype,
+    DistinctCountArchetype,
+    FilteredListArchetype,
+    ListColumnsArchetype,
+    OrderedListArchetype,
+    TopKArchetype,
+)
+
+REGISTRY: dict[str, Archetype] = {
+    arch.kind: arch
+    for arch in [
+        ListColumnsArchetype(),
+        FilteredListArchetype(),
+        CountArchetype(),
+        DistinctCountArchetype(),
+        AggregateArchetype(),
+        OrderedListArchetype(),
+        TopKArchetype(),
+        JoinListArchetype(),
+        JoinFilteredArchetype(),
+        GroupCountArchetype(),
+        GroupHavingArchetype(),
+        GroupArgmaxArchetype(),
+        SuperlativeArchetype(),
+        CompareToAvgArchetype(),
+        ExclusionArchetype(),
+        IntersectArchetype(),
+        UnionArchetype(),
+    ]
+}
+
+# (kind, sampling weight) — the corpus mix.
+DEFAULT_MIX: tuple = (
+    ("list", 1.2),
+    ("filtered_list", 1.4),
+    ("count", 1.0),
+    ("distinct_count", 0.5),
+    ("aggregate", 1.0),
+    ("ordered_list", 0.7),
+    ("top_k", 0.5),
+    ("join_list", 0.8),
+    ("join_filtered", 1.2),
+    ("group_count", 1.0),
+    ("group_having", 0.9),
+    ("group_argmax", 0.6),
+    ("superlative", 1.0),
+    ("compare_avg", 0.6),
+    ("exclusion", 0.9),
+    ("intersect", 0.5),
+    ("union_op", 0.6),
+)
+
+
+def archetype_by_kind(kind: str) -> Archetype:
+    """Look up an archetype by its registry kind."""
+    try:
+        return REGISTRY[kind]
+    except KeyError:
+        raise KeyError(f"unknown archetype kind {kind!r}") from None
+
+
+def default_mix() -> tuple:
+    """The default (kind, weight) corpus mix."""
+    return DEFAULT_MIX

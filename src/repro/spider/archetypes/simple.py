@@ -1,0 +1,446 @@
+"""Single-table archetypes: projection, counting, aggregation, ordering."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spider.archetypes.base import (
+    Archetype,
+    DomainContext,
+    colref,
+    filter_phrase,
+    join_phrases,
+    projection_items,
+    simple_query,
+    single_from,
+    where_from_filters,
+)
+from repro.spider.intents import IntentSpec
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    Star,
+    SubquerySource,
+    FromClause,
+)
+from repro.utils.text import pluralize
+
+AGG_PHRASES = {
+    "AVG": "average",
+    "MAX": "maximum",
+    "MIN": "minimum",
+    "SUM": "total",
+    "COUNT": "number of",
+}
+
+
+def _head(rng: np.random.Generator) -> str:
+    return str(rng.choice(["What are the", "List the", "Show the"]))
+
+
+def _maybe_filters(
+    ctx: DomainContext,
+    table: str,
+    rng: np.random.Generator,
+    p_one: float = 0.5,
+    p_two: float = 0.2,
+    allow_dk: bool = True,
+) -> list:
+    """Sample 0-2 filters over ``table``; first may be a DK fact."""
+    filters = []
+    if rng.random() < p_one:
+        want_dk = allow_dk and rng.random() < 0.55
+        f = ctx.sample_filter(table, rng, want_dk=want_dk)
+        if f is not None:
+            filters.append(f)
+            if rng.random() < p_two:
+                g = ctx.sample_filter(table, rng)
+                if g is not None and g.signature()[:2] != f.signature()[:2]:
+                    filters.append(g)
+    return filters
+
+
+def _filters_clause(
+    intent: IntentSpec, ctx: DomainContext, style: str, rng: np.random.Generator
+) -> str:
+    if not intent.filters:
+        return ""
+    phrases = [filter_phrase(f, ctx, style, rng) for f in intent.filters]
+    return " " + " and ".join(phrases)
+
+
+class ListColumnsArchetype(Archetype):
+    """Project 1-2 columns of one table, optionally DISTINCT.
+
+    The DISTINCT flag is the simplest realization ambiguity: when the
+    question does not say "different", corpus convention decides — which a
+    skeleton-matched demonstration conveys and a keyword-only one does not.
+    """
+
+    kind = "list"
+    realizations = ("plain", "distinct")
+    gold_weights = (0.6, 0.4)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        cols = ctx.queryable_columns(table)
+        if not cols:
+            return None
+        count = 1 if rng.random() < 0.6 else min(2, len(cols))
+        chosen = list(rng.choice(len(cols), size=count, replace=False))
+        projections = [["col", table, cols[i].name] for i in chosen]
+        ambiguous = count == 1 and cols[chosen[0]].role == "category"
+        intent = IntentSpec(kind=self.kind, table=table, projections=projections)
+        if ambiguous:
+            intent.distinct_explicit = rng.random() < 0.4
+        return intent
+
+    def choose_gold_realization(self, intent, rng) -> str:
+        """Sample the gold realization per corpus weights."""
+        if intent.distinct_explicit:
+            return "distinct"
+        single = len(intent.projections) == 1
+        if not single:
+            return "plain"
+        return super().choose_gold_realization(intent, rng)
+
+    def candidate_realizations(self, intent) -> tuple:
+        """Realizations an LLM could plausibly choose."""
+        if intent.distinct_explicit:
+            return ("distinct",)
+        if len(intent.projections) != 1:
+            return ("plain",)
+        return self.realizations
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            distinct=realization == "distinct",
+            from_clause=single_from(intent.table),
+            where=where_from_filters(intent.filters, ctx, {}),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        cols = join_phrases(
+            [
+                ctx.phrase_column(t, c, style, rng)
+                for _, t, c in intent.projections
+            ]
+        )
+        different = "different " if intent.distinct_explicit else ""
+        if style == "realistic" and len(intent.projections) == 1:
+            role = ctx.column_bp(
+                intent.projections[0][1], intent.projections[0][2]
+            ).role
+            if role == "name":
+                return f"Who are the {table}?"
+        return f"{_head(rng)} {different}{cols} of {table}?"
+
+
+class FilteredListArchetype(Archetype):
+    """Project columns of one table under 1-2 predicates."""
+
+    kind = "filtered_list"
+    realizations = ("plain",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        cols = ctx.queryable_columns(table)
+        if not cols:
+            return None
+        count = 1 if rng.random() < 0.7 else min(2, len(cols))
+        chosen = list(rng.choice(len(cols), size=count, replace=False))
+        projections = [["col", table, cols[i].name] for i in chosen]
+        filters = _maybe_filters(ctx, table, rng, p_one=1.0, p_two=0.3)
+        if not filters:
+            return None
+        # Avoid filtering on a projected column with '=' (degenerate).
+        projected = {(t, c) for _, t, c in projections}
+        filters = [
+            f for f in filters if (f.table, f.column) not in projected
+        ]
+        if not filters:
+            return None
+        return IntentSpec(
+            kind=self.kind, table=table, projections=projections, filters=filters
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            from_clause=single_from(intent.table),
+            where=where_from_filters(intent.filters, ctx, {}),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        cols = join_phrases(
+            [ctx.phrase_column(t, c, style, rng) for _, t, c in intent.projections]
+        )
+        return f"{_head(rng)} {cols} of {table}{_filters_clause(intent, ctx, style, rng)}?"
+
+
+class CountArchetype(Archetype):
+    """COUNT(*) with optional predicates."""
+
+    kind = "count"
+    realizations = ("count_star",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        filters = _maybe_filters(ctx, table, rng, p_one=0.6, p_two=0.25)
+        return IntentSpec(
+            kind=self.kind,
+            table=table,
+            projections=[["agg", "COUNT", table, "*"]],
+            filters=filters,
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        core = SelectCore(
+            items=[SelectItem(expr=Agg(func="COUNT", args=[Star()]))],
+            from_clause=single_from(intent.table),
+            where=where_from_filters(intent.filters, ctx, {}),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        tail = _filters_clause(intent, ctx, style, rng)
+        if not tail:
+            return f"How many {table} are there?"
+        return f"How many {table} are there{tail}?"
+
+
+class DistinctCountArchetype(Archetype):
+    """COUNT(DISTINCT column) — with a derived-table alternative."""
+
+    kind = "distinct_count"
+    realizations = ("count_distinct", "subquery")
+    gold_weights = (0.8, 0.2)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        cols = ctx.queryable_columns(table, roles=("category",))
+        if not cols:
+            return None
+        cb = cols[int(rng.integers(0, len(cols)))]
+        filters = _maybe_filters(ctx, table, rng, p_one=0.3, p_two=0.0)
+        filters = [f for f in filters if f.column != cb.name]
+        return IntentSpec(
+            kind=self.kind,
+            table=table,
+            projections=[["agg", "COUNT", table, cb.name]],
+            filters=filters,
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        _, _, table, column = intent.projections[0]
+        where = where_from_filters(intent.filters, ctx, {})
+        if realization == "count_distinct":
+            core = SelectCore(
+                items=[
+                    SelectItem(
+                        expr=Agg(func="COUNT", args=[colref(column)], distinct=True)
+                    )
+                ],
+                from_clause=single_from(table),
+                where=where,
+            )
+            return simple_query(core)
+        inner = SelectCore(
+            items=[SelectItem(expr=colref(column))],
+            distinct=True,
+            from_clause=single_from(table),
+            where=where,
+        )
+        outer = SelectCore(
+            items=[SelectItem(expr=Agg(func="COUNT", args=[Star()]))],
+            from_clause=FromClause(
+                first=SubquerySource(query=simple_query(inner), alias="T1")
+            ),
+        )
+        return simple_query(outer)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        _, _, table_key, column = intent.projections[0]
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        col = pluralize(ctx.phrase_column(table_key, column, style, rng))
+        tail = _filters_clause(intent, ctx, style, rng)
+        if intent.nl_variant == "subquery":
+            return f"What is the count of distinct {col} among {table}{tail}?"
+        return f"How many different {col} are there among {table}{tail}?"
+
+
+class AggregateArchetype(Archetype):
+    """AVG/MAX/MIN/SUM over a numeric column, optionally two functions."""
+
+    kind = "aggregate"
+    realizations = ("plain",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        cols = ctx.queryable_columns(table, roles=("numeric",))
+        if not cols:
+            return None
+        cb = cols[int(rng.integers(0, len(cols)))]
+        funcs = ["AVG", "MAX", "MIN", "SUM"]
+        count = 1 if rng.random() < 0.7 else 2
+        chosen = list(rng.choice(funcs, size=count, replace=False))
+        projections = [["agg", str(fn), table, cb.name] for fn in chosen]
+        filters = _maybe_filters(ctx, table, rng, p_one=0.4, p_two=0.0)
+        filters = [f for f in filters if f.column != cb.name]
+        return IntentSpec(
+            kind=self.kind, table=table, projections=projections, filters=filters
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            from_clause=single_from(intent.table),
+            where=where_from_filters(intent.filters, ctx, {}),
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        _, _, table_key, column = intent.projections[0]
+        col = ctx.phrase_column(table_key, column, style, rng)
+        aggs = join_phrases([AGG_PHRASES[p[1]] for p in intent.projections])
+        tail = _filters_clause(intent, ctx, style, rng)
+        head = "What is the" if len(intent.projections) == 1 else "What are the"
+        return f"{head} {aggs} {col} of {table}{tail}?"
+
+
+class OrderedListArchetype(Archetype):
+    """Projection sorted by a numeric column."""
+
+    kind = "ordered_list"
+    realizations = ("plain",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        display = ctx.display_column(table)
+        numerics = ctx.queryable_columns(table, roles=("numeric", "year"))
+        if display is None or not numerics:
+            return None
+        order_col = numerics[int(rng.integers(0, len(numerics)))]
+        direction = "DESC" if rng.random() < 0.6 else "ASC"
+        filters = _maybe_filters(ctx, table, rng, p_one=0.3, p_two=0.0)
+        filters = [f for f in filters if f.column != order_col.name]
+        return IntentSpec(
+            kind=self.kind,
+            table=table,
+            projections=[["col", table, display.name]],
+            filters=filters,
+            order=[table, order_col.name, direction],
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        table, column, direction = intent.order
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            from_clause=single_from(intent.table),
+            where=where_from_filters(intent.filters, ctx, {}),
+            order_by=[OrderItem(expr=colref(column), direction=direction)],
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        _, tkey, pcol = intent.projections[0]
+        col = ctx.phrase_column(tkey, pcol, style, rng)
+        order_table, order_col, direction = intent.order
+        ocol = ctx.phrase_column(order_table, order_col, style, rng)
+        dir_phrase = "descending" if direction == "DESC" else "ascending"
+        tail = _filters_clause(intent, ctx, style, rng)
+        return (
+            f"{_head(rng)} {col} of {table}{tail} sorted by {ocol} "
+            f"in {dir_phrase} order?"
+        )
+
+
+class TopKArchetype(Archetype):
+    """The k rows with the highest/lowest value of a column (k >= 2)."""
+
+    kind = "top_k"
+    realizations = ("order_limit",)
+    gold_weights = (1.0,)
+
+    def sample(self, ctx, rng) -> Optional[IntentSpec]:
+        """Draw an IntentSpec from this domain, or None if inapplicable."""
+        tables = [t.name for t in ctx.blueprint.tables]
+        table = str(rng.choice(tables))
+        display = ctx.display_column(table)
+        numerics = ctx.queryable_columns(table, roles=("numeric",))
+        if display is None or not numerics:
+            return None
+        order_col = numerics[int(rng.integers(0, len(numerics)))]
+        direction = "DESC" if rng.random() < 0.7 else "ASC"
+        return IntentSpec(
+            kind=self.kind,
+            table=table,
+            projections=[["col", table, display.name]],
+            order=[table, order_col.name, direction],
+            limit=int(rng.integers(2, 6)),
+        )
+
+    def build(self, intent, realization, ctx) -> Query:
+        """Build the SQL AST for the given realization of the intent."""
+        table, column, direction = intent.order
+        core = SelectCore(
+            items=projection_items(intent.projections, {}),
+            from_clause=single_from(intent.table),
+            order_by=[OrderItem(expr=colref(column), direction=direction)],
+            limit=intent.limit,
+        )
+        return simple_query(core)
+
+    def nl(self, intent, ctx, style, rng) -> str:
+        """Render the intent as an NL question in the given style."""
+        table = pluralize(ctx.phrase_table(intent.table, style, rng))
+        _, tkey, pcol = intent.projections[0]
+        col = ctx.phrase_column(tkey, pcol, style, rng)
+        order_table, order_col, direction = intent.order
+        ocol = ctx.phrase_column(order_table, order_col, style, rng)
+        extreme = "highest" if direction == "DESC" else "lowest"
+        return (
+            f"{_head(rng)} {col} of the {intent.limit} {table} with the "
+            f"{extreme} {ocol}?"
+        )

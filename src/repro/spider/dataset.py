@@ -1,0 +1,128 @@
+"""Dataset containers for the synthetic benchmark family.
+
+An :class:`Example` is one NL2SQL task; a :class:`Dataset` bundles examples
+with their databases.  Every example stores all four NL renderings (plain,
+SYN, Realistic, DK) produced at generation time, so variant corpora are a
+cheap re-labelling rather than a re-generation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.schema import Database
+from repro.spider.intents import IntentSpec
+
+
+@dataclass
+class Example:
+    """One NL2SQL task: question, gold SQL, database, and provenance."""
+
+    ex_id: str
+    db_id: str
+    question: str
+    sql: str
+    hardness: str
+    intent: IntentSpec
+    question_syn: str = ""
+    question_realistic: str = ""
+    question_dk: str = ""
+    dk_applicable: bool = False
+
+    def question_for(self, style: str) -> str:
+        """The question text for a benchmark style (falls back to plain)."""
+        text = {
+            "plain": self.question,
+            "syn": self.question_syn,
+            "realistic": self.question_realistic,
+            "dk": self.question_dk,
+        }.get(style, "")
+        return text or self.question
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "ex_id": self.ex_id,
+            "db_id": self.db_id,
+            "question": self.question,
+            "sql": self.sql,
+            "hardness": self.hardness,
+            "intent": self.intent.to_dict(),
+            "question_syn": self.question_syn,
+            "question_realistic": self.question_realistic,
+            "question_dk": self.question_dk,
+            "dk_applicable": self.dk_applicable,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Example":
+        """Reconstruct from :meth:`to_dict` output."""
+        data = dict(data)
+        data["intent"] = IntentSpec.from_dict(data["intent"])
+        return Example(**data)
+
+
+@dataclass
+class Dataset:
+    """A named split: examples plus the databases they run against."""
+
+    name: str
+    examples: list = field(default_factory=list)
+    databases: dict = field(default_factory=dict)  # db_id -> Database
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self.examples)
+
+    def database(self, db_id: str) -> Database:
+        """Look up a database by id."""
+        return self.databases[db_id]
+
+    def db_ids(self) -> list[str]:
+        """Sorted database identifiers."""
+        return sorted(self.databases)
+
+    def by_hardness(self) -> dict:
+        """Per-hardness-level accuracy for the given metric."""
+        buckets: dict[str, list[Example]] = {}
+        for ex in self.examples:
+            buckets.setdefault(ex.hardness, []).append(ex)
+        return buckets
+
+    def subset(self, count: int, name: Optional[str] = None) -> "Dataset":
+        """A deterministic prefix subset (used by budget-limited benches)."""
+        taken = self.examples[:count]
+        db_ids = {ex.db_id for ex in taken}
+        return Dataset(
+            name=name or f"{self.name}[:{count}]",
+            examples=taken,
+            databases={k: v for k, v in self.databases.items() if k in db_ids},
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write to disk as JSON."""
+        payload = {
+            "name": self.name,
+            "examples": [ex.to_dict() for ex in self.examples],
+            "databases": {k: db.to_dict() for k, db in self.databases.items()},
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path) -> "Dataset":
+        """Read a JSON file written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return Dataset(
+            name=payload["name"],
+            examples=[Example.from_dict(e) for e in payload["examples"]],
+            databases={
+                k: Database.from_dict(d) for k, d in payload["databases"].items()
+            },
+        )

@@ -1,0 +1,528 @@
+"""The domain library: 15 hand-crafted Spider-style domains.
+
+Eleven domains are reserved for the training split and four for the
+validation split, preserving Spider's *cross-domain* setting: validation
+databases come from domains never seen in the demonstration pool.
+
+Each domain defines tables with natural-language surface forms and
+synonyms (used by the Spider-SYN variant), plus domain-knowledge facts
+(used by the Spider-DK variant).
+"""
+
+from __future__ import annotations
+
+from repro.spider import pools
+from repro.spider.blueprint import (
+    ColumnBlueprint,
+    DKFact,
+    DomainBlueprint,
+    TableBlueprint,
+)
+
+
+def col(name, role="text", natural="", syn=(), pool=(), low=0.0, high=100.0,
+        grid=1.0, is_int=True):
+    """Shorthand :class:`ColumnBlueprint` constructor."""
+    return ColumnBlueprint(
+        name=name, role=role, natural=natural, synonyms=tuple(syn),
+        pool=tuple(pool), low=low, high=high, grid=grid, is_int=is_int,
+    )
+
+
+def table(name, cols, natural="", syn=(), rows=(8, 16), pk="id"):
+    """Shorthand :class:`TableBlueprint` constructor."""
+    return TableBlueprint(
+        name=name, columns=list(cols), natural=natural, synonyms=tuple(syn),
+        rows=rows, primary_key=pk,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Training domains
+# ---------------------------------------------------------------------------
+
+
+def _concert_singer() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="concert_singer",
+        tables=[
+            table("stadium", [
+                col("name", "title", syn=("venue name",)),
+                col("capacity", "numeric", syn=("size",), low=1000, high=9000, grid=500),
+                col("city", "category", pool=pools.CITIES, syn=("town",)),
+                col("opened", "year", natural="opening year"),
+            ], syn=("arena", "venue")),
+            table("concert", [
+                col("stadium_id", "fk"),
+                col("title", "title", natural="title", syn=("concert name",)),
+                col("year", "year"),
+                col("attendance", "numeric", low=500, high=8000, grid=250),
+            ], syn=("show", "performance event"), rows=(14, 24)),
+            table("singer", [
+                col("name", "name"),
+                col("country", "category", pool=pools.COUNTRIES, syn=("nation", "homeland")),
+                col("age", "numeric", low=18, high=70, grid=1),
+                col("net_worth", "numeric", natural="net worth", syn=("wealth",),
+                    low=1, high=50, grid=1),
+            ], syn=("artist", "vocalist")),
+            table("song", [
+                col("singer_id", "fk"),
+                col("title", "title"),
+                col("sales", "numeric", low=1000, high=90000, grid=1000),
+                col("genre", "category", pool=pools.GENRES, syn=("style",)),
+            ], rows=(16, 28)),
+        ],
+        fks=[
+            ("concert", "stadium_id", "stadium", "id"),
+            ("song", "singer_id", "singer", "id"),
+        ],
+        dk_facts=[
+            DKFact("American", "singer", "country", "=", "USA"),
+            DKFact("French", "singer", "country", "=", "France"),
+            DKFact("veteran", "singer", "age", ">", 50),
+        ],
+    )
+
+
+def _pets() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="student_pets",
+        tables=[
+            table("student", [
+                col("name", "name"),
+                col("age", "numeric", low=17, high=30, grid=1),
+                col("major", "category", pool=pools.DEPARTMENTS, syn=("field of study",)),
+                col("city", "category", pool=pools.CITIES, syn=("hometown",)),
+            ], syn=("pupil",)),
+            table("pet", [
+                col("owner_id", "fk", natural="owner id"),
+                col("pettype", "category", natural="pet type", pool=pools.ANIMAL_TYPES,
+                    syn=("kind of animal", "animal type")),
+                col("weight", "numeric", low=1, high=40, grid=1),
+                col("age", "numeric", low=1, high=15, grid=1),
+            ], rows=(14, 26)),
+        ],
+        fks=[("pet", "owner_id", "student", "id")],
+        dk_facts=[
+            DKFact("dogs", "pet", "pettype", "=", "Dog"),
+            DKFact("cats", "pet", "pettype", "=", "Cat"),
+            DKFact("heavy pets", "pet", "weight", ">", 20),
+        ],
+    )
+
+
+def _car_makers() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="car_makers",
+        tables=[
+            table("maker", [
+                col("name", "title", syn=("company name",)),
+                col("country", "category", pool=pools.COUNTRIES, syn=("nation",)),
+                col("founded", "year", natural="founding year"),
+            ], natural="car maker", syn=("manufacturer", "car company")),
+            table("model", [
+                col("maker_id", "fk"),
+                col("name", "title", natural="model name"),
+                col("horsepower", "numeric", syn=("engine power",), low=60, high=500, grid=20),
+                col("price", "numeric", low=10000, high=90000, grid=5000),
+                col("year", "year"),
+            ], natural="car model", syn=("car",), rows=(16, 30)),
+        ],
+        fks=[("model", "maker_id", "maker", "id")],
+        dk_facts=[
+            DKFact("German", "maker", "country", "=", "Germany"),
+            DKFact("Japanese", "maker", "country", "=", "Japan"),
+            DKFact("powerful", "model", "horsepower", ">", 300),
+        ],
+    )
+
+
+def _flights() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="flights",
+        tables=[
+            table("airline", [
+                col("name", "title", syn=("carrier name",), pool=pools.AIRLINES),
+                col("country", "category", pool=pools.COUNTRIES),
+                col("fleet_size", "numeric", natural="fleet size", low=5, high=200, grid=5),
+            ], syn=("carrier",)),
+            table("airport", [
+                col("name", "title"),
+                col("city", "category", pool=pools.CITIES),
+                col("gates", "numeric", low=2, high=60, grid=2),
+            ]),
+            table("flight", [
+                col("airline_id", "fk"),
+                col("airport_id", "fk", natural="destination airport id"),
+                col("flight_number", "code", natural="flight number"),
+                col("distance", "numeric", low=100, high=9000, grid=100),
+                col("duration", "numeric", syn=("length",), low=1, high=15, grid=1),
+            ], rows=(18, 32)),
+        ],
+        fks=[
+            ("flight", "airline_id", "airline", "id"),
+            ("flight", "airport_id", "airport", "id"),
+        ],
+        dk_facts=[
+            DKFact("long haul", "flight", "distance", ">", 4000),
+            DKFact("short hop", "flight", "distance", "<", 500),
+        ],
+    )
+
+
+def _employees() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="employees",
+        tables=[
+            table("department", [
+                col("name", "category", pool=pools.DEPARTMENTS),
+                col("budget", "numeric", low=100000, high=900000, grid=50000),
+                col("city", "category", pool=pools.CITIES, syn=("location",)),
+            ], syn=("division",)),
+            table("employee", [
+                col("dept_id", "fk"),
+                col("name", "name"),
+                col("salary", "numeric", syn=("pay", "wage"), low=30000, high=150000,
+                    grid=5000),
+                col("age", "numeric", low=21, high=65, grid=1),
+                col("title", "category", natural="job title",
+                    pool=("Manager", "Engineer", "Analyst", "Clerk"), syn=("role",)),
+            ], natural="employee", syn=("staff member", "worker"), rows=(16, 30)),
+        ],
+        fks=[("employee", "dept_id", "department", "id")],
+        dk_facts=[
+            DKFact("engineers", "employee", "title", "=", "Engineer"),
+            DKFact("managers", "employee", "title", "=", "Manager"),
+            DKFact("well paid", "employee", "salary", ">", 100000),
+        ],
+    )
+
+
+def _tv_shows() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="tv_shows",
+        tables=[
+            table("tv_channel", [
+                col("name", "title", natural="channel name"),
+                col("country", "category", pool=pools.COUNTRIES, syn=("nation",)),
+                col("language", "category", pool=pools.LANGUAGES, syn=("tongue",)),
+                col("hd_flag", "code", natural="hd flag"),
+            ], natural="tv channel", syn=("channel", "station")),
+            table("cartoon", [
+                col("channel_id", "fk"),
+                col("title", "title"),
+                col("written_by", "name", natural="writer", syn=("author",)),
+                col("rating", "numeric", low=1, high=10, grid=1),
+            ], rows=(15, 28)),
+        ],
+        fks=[("cartoon", "channel_id", "tv_channel", "id")],
+        dk_facts=[
+            DKFact("English language", "tv_channel", "language", "=", "English"),
+            DKFact("highly rated", "cartoon", "rating", ">", 7),
+        ],
+    )
+
+
+def _colleges() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="colleges",
+        tables=[
+            table("college", [
+                col("name", "title"),
+                col("state", "category", pool=pools.CITIES, syn=("region",)),
+                col("enrollment", "numeric", syn=("student count",), low=1000,
+                    high=40000, grid=1000),
+            ], syn=("university", "school")),
+            table("faculty", [
+                col("college_id", "fk"),
+                col("name", "name"),
+                col("salary", "numeric", low=50000, high=200000, grid=10000),
+                col("rank", "category", pool=("Professor", "Lecturer", "Instructor"),
+                    syn=("position",)),
+            ], natural="faculty member", syn=("professor",), rows=(14, 24)),
+            table("course", [
+                col("faculty_id", "fk", natural="instructor id"),
+                col("title", "title"),
+                col("credits", "numeric", low=1, high=6, grid=1),
+                col("year", "year"),
+            ], rows=(16, 28)),
+        ],
+        fks=[
+            ("faculty", "college_id", "college", "id"),
+            ("course", "faculty_id", "faculty", "id"),
+        ],
+        dk_facts=[
+            DKFact("professors", "faculty", "rank", "=", "Professor"),
+            DKFact("large colleges", "college", "enrollment", ">", 20000),
+        ],
+    )
+
+
+def _museums() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="museums",
+        tables=[
+            table("museum", [
+                col("name", "title"),
+                col("city", "category", pool=pools.CITIES),
+                col("founded", "year", natural="founding year"),
+                col("staff", "numeric", natural="staff count", low=5, high=200, grid=5),
+            ], syn=("gallery",)),
+            table("exhibition", [
+                col("museum_id", "fk"),
+                col("title", "title"),
+                col("year", "year"),
+                col("visitors", "numeric", natural="visitor count",
+                    syn=("attendance",), low=1000, high=90000, grid=1000),
+            ], rows=(14, 26)),
+        ],
+        fks=[("exhibition", "museum_id", "museum", "id")],
+        dk_facts=[
+            DKFact("historic museums", "museum", "founded", "<", 1975),
+            DKFact("popular exhibitions", "exhibition", "visitors", ">", 50000),
+        ],
+    )
+
+
+def _orchestra() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="orchestra",
+        tables=[
+            table("conductor", [
+                col("name", "name"),
+                col("age", "numeric", low=30, high=80, grid=1),
+                col("country", "category", pool=pools.COUNTRIES, syn=("nationality",)),
+            ], syn=("maestro",)),
+            table("orchestra", [
+                col("conductor_id", "fk"),
+                col("name", "title", natural="orchestra name"),
+                col("founded", "year", natural="founding year"),
+                col("players", "numeric", natural="player count", low=20, high=120,
+                    grid=5),
+            ], syn=("ensemble",), rows=(10, 18)),
+            table("show", [
+                col("orchestra_id", "fk"),
+                col("venue", "title"),
+                col("attendance", "numeric", low=100, high=5000, grid=100),
+                col("year", "year"),
+            ], rows=(14, 26)),
+        ],
+        fks=[
+            ("orchestra", "conductor_id", "conductor", "id"),
+            ("show", "orchestra_id", "orchestra", "id"),
+        ],
+        dk_facts=[
+            DKFact("senior conductors", "conductor", "age", ">", 60),
+            DKFact("old ensembles", "orchestra", "founded", "<", 1980),
+        ],
+    )
+
+
+def _restaurants() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="restaurants",
+        tables=[
+            table("restaurant", [
+                col("name", "title"),
+                col("cuisine", "category", pool=pools.CUISINES, syn=("food type",)),
+                col("rating", "numeric", syn=("score",), low=1, high=5, grid=1),
+                col("city", "category", pool=pools.CITIES),
+            ], syn=("eatery", "diner")),
+            table("dish", [
+                col("restaurant_id", "fk"),
+                col("name", "title", natural="dish name"),
+                col("price", "numeric", syn=("cost",), low=5, high=60, grid=5),
+            ], syn=("menu item",), rows=(16, 28)),
+        ],
+        fks=[("dish", "restaurant_id", "restaurant", "id")],
+        dk_facts=[
+            DKFact("Italian places", "restaurant", "cuisine", "=", "Italian"),
+            DKFact("cheap dishes", "dish", "price", "<", 15),
+        ],
+    )
+
+
+def _libraries() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="libraries",
+        tables=[
+            table("library", [
+                col("name", "title"),
+                col("city", "category", pool=pools.CITIES),
+                col("books", "numeric", natural="book count", syn=("collection size",),
+                    low=5000, high=90000, grid=5000),
+            ]),
+            table("member", [
+                col("library_id", "fk"),
+                col("name", "name"),
+                col("age", "numeric", low=8, high=80, grid=1),
+                col("level", "category", natural="membership level",
+                    pool=("Basic", "Silver", "Gold"), syn=("tier",)),
+            ], rows=(16, 28)),
+        ],
+        fks=[("member", "library_id", "library", "id")],
+        dk_facts=[
+            DKFact("gold members", "member", "level", "=", "Gold"),
+            DKFact("young readers", "member", "age", "<", 18),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation domains (held out from the demonstration pool)
+# ---------------------------------------------------------------------------
+
+
+def _hospitals() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="hospitals",
+        tables=[
+            table("hospital", [
+                col("name", "title"),
+                col("city", "category", pool=pools.CITIES, syn=("location",)),
+                col("beds", "numeric", natural="bed count", syn=("capacity",),
+                    low=50, high=900, grid=50),
+            ], syn=("clinic", "medical center")),
+            table("doctor", [
+                col("hospital_id", "fk"),
+                col("name", "name"),
+                col("specialty", "category",
+                    pool=("Cardiology", "Surgery", "Pediatrics", "Oncology"),
+                    syn=("field",)),
+                col("salary", "numeric", syn=("pay",), low=80000, high=300000,
+                    grid=10000),
+                col("age", "numeric", low=28, high=70, grid=1),
+            ], natural="doctor", syn=("physician",), rows=(16, 28)),
+        ],
+        fks=[("doctor", "hospital_id", "hospital", "id")],
+        dk_facts=[
+            DKFact("surgeons", "doctor", "specialty", "=", "Surgery"),
+            DKFact("large hospitals", "hospital", "beds", ">", 500),
+        ],
+    )
+
+
+def _soccer() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="soccer",
+        tables=[
+            table("team", [
+                col("name", "title", natural="team name"),
+                col("city", "category", pool=pools.CITIES, syn=("home city",)),
+                col("founded", "year", natural="founding year"),
+            ], syn=("club", "squad")),
+            table("player", [
+                col("team_id", "fk"),
+                col("name", "name"),
+                col("position", "category", pool=pools.SPORTS_POSITIONS,
+                    syn=("role",)),
+                col("goals", "numeric", natural="goal count", syn=("scoring record",),
+                    low=0, high=40, grid=1),
+                col("age", "numeric", low=17, high=40, grid=1),
+            ], natural="player", syn=("footballer", "athlete"), rows=(18, 30)),
+        ],
+        fks=[("player", "team_id", "team", "id")],
+        dk_facts=[
+            DKFact("goalkeepers", "player", "position", "=", "Goalkeeper"),
+            DKFact("prolific scorers", "player", "goals", ">", 25),
+            DKFact("teenagers", "player", "age", "<", 20),
+        ],
+    )
+
+
+def _products() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="products",
+        tables=[
+            table("manufacturer", [
+                col("name", "title", natural="company name"),
+                col("country", "category", pool=pools.COUNTRIES, syn=("headquarters country",)),
+                col("revenue", "numeric", syn=("turnover",), low=10, high=900, grid=10),
+            ], syn=("producer", "vendor")),
+            table("product", [
+                col("manufacturer_id", "fk"),
+                col("name", "title", natural="product name"),
+                col("category", "category", pool=pools.PRODUCT_CATEGORIES,
+                    syn=("product type",)),
+                col("price", "numeric", syn=("cost",), low=100, high=3000, grid=100),
+                col("stock", "numeric", natural="stock count", low=0, high=500, grid=10),
+            ], syn=("item", "good"), rows=(18, 30)),
+        ],
+        fks=[("product", "manufacturer_id", "manufacturer", "id")],
+        dk_facts=[
+            DKFact("Chinese vendors", "manufacturer", "country", "=", "China"),
+            DKFact("premium products", "product", "price", ">", 2000),
+            DKFact("out of stock", "product", "stock", "=", 0),
+        ],
+    )
+
+
+def _movies() -> DomainBlueprint:
+    return DomainBlueprint(
+        name="movies",
+        tables=[
+            table("director", [
+                col("name", "name"),
+                col("country", "category", pool=pools.COUNTRIES, syn=("nationality",)),
+                col("age", "numeric", low=25, high=85, grid=1),
+            ], syn=("filmmaker",)),
+            table("movie", [
+                col("director_id", "fk"),
+                col("title", "title"),
+                col("genre", "category", pool=pools.MOVIE_GENRES, syn=("kind",)),
+                col("year", "year", natural="release year"),
+                col("gross", "numeric", syn=("box office",), low=1, high=500, grid=10),
+            ], syn=("film", "picture"), rows=(18, 30)),
+        ],
+        fks=[("movie", "director_id", "director", "id")],
+        dk_facts=[
+            DKFact("comedies", "movie", "genre", "=", "Comedy"),
+            DKFact("blockbusters", "movie", "gross", ">", 300),
+            DKFact("nineties films", "movie", "year", "between", (1990, 1999)),
+        ],
+    )
+
+
+TRAIN_DOMAIN_BUILDERS = (
+    _concert_singer,
+    _pets,
+    _car_makers,
+    _flights,
+    _employees,
+    _tv_shows,
+    _colleges,
+    _museums,
+    _orchestra,
+    _restaurants,
+    _libraries,
+)
+
+DEV_DOMAIN_BUILDERS = (
+    _hospitals,
+    _soccer,
+    _products,
+    _movies,
+)
+
+
+def train_domains() -> list[DomainBlueprint]:
+    """Blueprints for the training (demonstration) split."""
+    return [build() for build in TRAIN_DOMAIN_BUILDERS]
+
+
+def dev_domains() -> list[DomainBlueprint]:
+    """Blueprints for the validation split (cross-domain: unseen)."""
+    return [build() for build in DEV_DOMAIN_BUILDERS]
+
+
+def all_domains() -> list[DomainBlueprint]:
+    """All 15 domain blueprints (train + dev)."""
+    return train_domains() + dev_domains()
+
+
+def domain_by_name(name: str) -> DomainBlueprint:
+    """Look up a domain blueprint by name."""
+    for blueprint in all_domains():
+        if blueprint.name == name:
+            return blueprint
+    raise KeyError(f"unknown domain {name!r}")

@@ -1,0 +1,127 @@
+"""Structured query intents.
+
+An :class:`IntentSpec` is the abstract meaning of an NL question — *what*
+the user wants, independent of *how* it is realized as SQL.  The workload
+generator samples an intent, picks a gold realization (one of possibly
+several operator compositions expressing the intent), renders the NL
+question, and builds the gold SQL.  The simulated LLM re-derives an intent
+from the question text and chooses its own realization; the gap between
+its choice and the gold realization is precisely the paper's "logical
+operator composition" problem.
+
+Intents are JSON-serializable so datasets round-trip to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+
+@dataclass
+class FilterSpec:
+    """One predicate: ``table.column op value``.
+
+    ``op`` is one of ``= != > < >= <= like between``; ``value2`` is only
+    used by ``between``.  ``dk_phrase`` names the domain-knowledge
+    paraphrase that can replace this predicate in Spider-DK questions.
+    """
+
+    table: str
+    column: str
+    op: str
+    value: object
+    value2: object = None
+    dk_phrase: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "FilterSpec":
+        """Reconstruct from :meth:`to_dict` output."""
+        return FilterSpec(**data)
+
+    def signature(self) -> tuple:
+        """Comparison key ignoring the DK phrase."""
+        return (self.table, self.column, self.op, self.value, self.value2)
+
+
+@dataclass
+class IntentSpec:
+    """The abstract meaning of one NL2SQL task.
+
+    Only the fields relevant to ``kind`` are populated; see
+    :mod:`repro.spider.archetypes` for the per-kind contracts.
+    """
+
+    kind: str
+    table: str  # main table key
+    projections: list = field(default_factory=list)
+    # each projection: ["col", table, column] or ["agg", func, table, column|"*"]
+    distinct: bool = False
+    distinct_explicit: bool = False
+    filters: list = field(default_factory=list)  # list[FilterSpec]
+    # Join/grouping slots — fk is [child_t, child_c, parent_t, parent_c].
+    fk: Optional[list] = None
+    group_by: Optional[list] = None  # [table, column]
+    having: Optional[list] = None  # [func, op, value]
+    order: Optional[list] = None  # [table, column, direction] | ["count", "", dir]
+    limit: int = 0
+    compare_agg: str = ""  # e.g. "AVG" for compare-to-aggregate intents
+    second_filters: list = field(default_factory=list)  # set-op second branch
+    realization: str = ""  # gold realization id
+    # Which realization's *phrasing* the NL uses.  Annotators are mostly
+    # (not perfectly) consistent: the phrasing correlates with the gold
+    # realization, so a model fine-tuned on the corpus can learn the
+    # convention while a general LLM's prior cannot.
+    nl_variant: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        data = asdict(self)
+        data["filters"] = [f.to_dict() for f in self.filters]
+        data["second_filters"] = [f.to_dict() for f in self.second_filters]
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "IntentSpec":
+        """Reconstruct from :meth:`to_dict` output."""
+        data = dict(data)
+        data["filters"] = [FilterSpec.from_dict(f) for f in data.get("filters", [])]
+        data["second_filters"] = [
+            FilterSpec.from_dict(f) for f in data.get("second_filters", [])
+        ]
+        return IntentSpec(**data)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def parent_table(self) -> Optional[str]:
+        """The joined (parent) table key, if this intent joins."""
+        return self.fk[2] if self.fk else None
+
+    @property
+    def child_table(self) -> Optional[str]:
+        """The joined child table key, if any."""
+        return self.fk[0] if self.fk else None
+
+    def all_filters(self) -> list:
+        """Filters of both branches combined."""
+        return list(self.filters) + list(self.second_filters)
+
+    def tables_involved(self) -> set:
+        """Every table this intent references."""
+        tables = {self.table}
+        if self.fk:
+            tables.add(self.fk[0])
+            tables.add(self.fk[2])
+        for f in self.all_filters():
+            tables.add(f.table)
+        for proj in self.projections:
+            if proj[0] == "col":
+                tables.add(proj[1])
+            elif proj[0] == "agg" and proj[3] != "*":
+                tables.add(proj[2])
+        return tables

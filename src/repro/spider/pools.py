@@ -1,0 +1,84 @@
+"""Shared value pools for synthetic database content.
+
+Pools are plain tuples so sampling with a seeded generator is reproducible.
+Categorical pools are intentionally small: repeated values in non-key
+columns are what make ``EXCEPT`` vs ``NOT IN`` and ``UNION`` vs ``OR``
+diverge at execution time, which the MockLLM experiments rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES = (
+    "James", "Mary", "Wei", "Aisha", "Carlos", "Yuki", "Omar", "Elena",
+    "Tom", "Priya", "Lucas", "Nadia", "Ivan", "Grace", "Hassan", "Mia",
+    "Diego", "Sofia", "Ahmed", "Laura", "Kofi", "Anna", "Raj", "Emma",
+)
+
+LAST_NAMES = (
+    "Smith", "Garcia", "Chen", "Johnson", "Mueller", "Tanaka", "Brown",
+    "Silva", "Kim", "Patel", "Rossi", "Novak", "Dubois", "Okafor",
+    "Jones", "Nakamura", "Lopez", "Ivanov", "Kaur", "Schmidt",
+)
+
+COUNTRIES = (
+    "USA", "UK", "France", "Japan", "Brazil", "Germany", "India",
+    "Canada", "Australia", "Italy", "Spain", "China",
+)
+
+CITIES = (
+    "New York", "London", "Paris", "Tokyo", "Berlin", "Madrid", "Rome",
+    "Sydney", "Toronto", "Mumbai", "Shanghai", "Chicago",
+)
+
+LANGUAGES = ("English", "French", "Spanish", "Japanese", "German", "Mandarin")
+
+COLORS = ("Red", "Blue", "Green", "Black", "White", "Silver")
+
+GENRES = ("Pop", "Rock", "Jazz", "Folk", "Blues", "Classical")
+
+MOVIE_GENRES = ("Drama", "Comedy", "Action", "Horror", "Documentary")
+
+ANIMAL_TYPES = ("Dog", "Cat", "Bird", "Fish", "Hamster")
+
+DEGREES = ("BSc", "MSc", "PhD", "MBA")
+
+DEPARTMENTS = (
+    "Sales", "Engineering", "Marketing", "Finance", "Support", "Research",
+)
+
+INSTRUMENTS = ("Violin", "Cello", "Flute", "Trumpet", "Piano", "Oboe")
+
+AIRLINES = ("AirOne", "SkyJet", "GlobalWings", "BlueBird", "StarFly")
+
+CUISINES = ("Italian", "Thai", "Mexican", "Indian", "French", "Korean")
+
+SPORTS_POSITIONS = ("Forward", "Midfielder", "Defender", "Goalkeeper")
+
+PRODUCT_CATEGORIES = ("Laptop", "Phone", "Tablet", "Camera", "Monitor")
+
+WORD_STEMS = (
+    "Silver", "Golden", "Crimson", "Royal", "Grand", "Little", "Happy",
+    "Wild", "Bright", "Lucky", "Misty", "Sunny", "Iron", "Velvet",
+)
+
+WORD_TAILS = (
+    "River", "Mountain", "Star", "Garden", "Harbor", "Valley", "Bridge",
+    "Forest", "Lake", "Tower", "Meadow", "Canyon",
+)
+
+
+def sample_name(rng: np.random.Generator) -> str:
+    """A random full person name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def sample_title(rng: np.random.Generator) -> str:
+    """A random two-word proper noun (venue, song, show title, ...)."""
+    return f"{rng.choice(WORD_STEMS)} {rng.choice(WORD_TAILS)}"
+
+
+def sample_code(rng: np.random.Generator, prefix: str = "X") -> str:
+    """A short alphanumeric code like ``X-4821``."""
+    return f"{prefix}-{int(rng.integers(1000, 9999))}"

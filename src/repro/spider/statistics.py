@@ -1,0 +1,42 @@
+"""Corpus statistics — the rows of the paper's Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spider.dataset import Dataset
+
+
+@dataclass
+class BenchmarkStatistics:
+    """Queries, databases, and average NL/SQL character lengths."""
+
+    name: str
+    queries: int
+    databases: int
+    avg_question_length: float
+    avg_sql_length: float
+
+    def row(self) -> tuple:
+        """The tuple the paper's table prints."""
+        return (
+            self.name,
+            self.queries,
+            self.databases,
+            round(self.avg_question_length, 1),
+            round(self.avg_sql_length, 1),
+        )
+
+
+def benchmark_statistics(dataset: Dataset) -> BenchmarkStatistics:
+    """Compute Table-3 style statistics for one dataset."""
+    n = len(dataset.examples)
+    q_len = sum(len(ex.question) for ex in dataset.examples) / n if n else 0.0
+    s_len = sum(len(ex.sql) for ex in dataset.examples) / n if n else 0.0
+    return BenchmarkStatistics(
+        name=dataset.name,
+        queries=n,
+        databases=len(dataset.databases),
+        avg_question_length=q_len,
+        avg_sql_length=s_len,
+    )

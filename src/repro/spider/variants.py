@@ -1,0 +1,51 @@
+"""Variant corpora: Spider-DK, Spider-SYN, Spider-Realistic analogues.
+
+Each variant re-labels the questions of a base dataset with the NL
+rendering produced at generation time:
+
+* ``syn`` — schema terms replaced by synonyms (Spider-SYN);
+* ``realistic`` — explicit column mentions dropped (Spider-Realistic);
+* ``dk`` — predicates stated via domain-knowledge paraphrases
+  (Spider-DK); only DK-applicable examples are kept, which is why the
+  DK variant is smaller, just like the real Spider-DK.
+"""
+
+from __future__ import annotations
+
+from repro.spider.dataset import Dataset, Example
+
+VARIANT_STYLES = ("syn", "realistic", "dk")
+
+
+def make_variant(base: Dataset, style: str) -> Dataset:
+    """Derive a variant corpus from a base dataset."""
+    if style not in VARIANT_STYLES:
+        raise ValueError(
+            f"unknown variant style {style!r}; expected one of {VARIANT_STYLES}"
+        )
+    examples = []
+    for ex in base.examples:
+        if style == "dk" and not ex.dk_applicable:
+            continue
+        examples.append(_relabel(ex, style))
+    db_ids = {ex.db_id for ex in examples}
+    return Dataset(
+        name=f"{base.name}_{style}",
+        examples=examples,
+        databases={k: v for k, v in base.databases.items() if k in db_ids},
+    )
+
+
+def _relabel(ex: Example, style: str) -> Example:
+    return Example(
+        ex_id=f"{ex.ex_id}-{style}",
+        db_id=ex.db_id,
+        question=ex.question_for(style),
+        sql=ex.sql,
+        hardness=ex.hardness,
+        intent=ex.intent,
+        question_syn=ex.question_syn,
+        question_realistic=ex.question_realistic,
+        question_dk=ex.question_dk,
+        dk_applicable=ex.dk_applicable,
+    )

@@ -1,0 +1,88 @@
+"""From-scratch SQL toolkit for the Spider SQL subset.
+
+This package replaces the external SQL toolchain (sqlglot et al.) the paper
+relied on.  It provides:
+
+* a tokenizer (:mod:`repro.sqlkit.tokens`),
+* a typed AST (:mod:`repro.sqlkit.ast_nodes`),
+* a recursive-descent parser (:mod:`repro.sqlkit.parser`),
+* a canonical renderer (:mod:`repro.sqlkit.render`),
+* SQL-skeleton extraction as defined in PURPLE §II-C
+  (:mod:`repro.sqlkit.skeleton`), and
+* the official Spider hardness classifier (:mod:`repro.sqlkit.hardness`).
+"""
+
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    BetweenExpr,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    JoinedTable,
+    LikeExpr,
+    Literal,
+    Node,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    Star,
+    Subquery,
+    SubquerySource,
+    TableRef,
+    ValueList,
+    clone,
+    walk,
+)
+from repro.sqlkit.errors import SQLError, SQLParseError, SQLTokenizeError
+from repro.sqlkit.hardness import Hardness, classify_hardness
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.render import render_sql
+from repro.sqlkit.skeleton import PLACEHOLDER, extract_skeleton, skeleton_tokens
+from repro.sqlkit.tokens import Token, TokenKind, tokenize
+
+__all__ = [
+    "Agg",
+    "BetweenExpr",
+    "BinaryOp",
+    "BoolOp",
+    "ColumnRef",
+    "Comparison",
+    "FromClause",
+    "FuncCall",
+    "InExpr",
+    "IsNullExpr",
+    "JoinedTable",
+    "LikeExpr",
+    "Literal",
+    "Node",
+    "OrderItem",
+    "Query",
+    "SelectCore",
+    "SelectItem",
+    "Star",
+    "Subquery",
+    "SubquerySource",
+    "TableRef",
+    "ValueList",
+    "clone",
+    "walk",
+    "SQLError",
+    "SQLParseError",
+    "SQLTokenizeError",
+    "Hardness",
+    "classify_hardness",
+    "parse_sql",
+    "render_sql",
+    "PLACEHOLDER",
+    "extract_skeleton",
+    "skeleton_tokens",
+    "Token",
+    "TokenKind",
+    "tokenize",
+]

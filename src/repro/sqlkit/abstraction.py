@@ -1,0 +1,45 @@
+"""The four-level skeleton abstraction hierarchy (§IV-C1, Figure 6).
+
+Level 1 (Detail) keeps placeholders; level 2 (Keywords) drops them to
+focus on operators; level 3 (Structure) generalizes operators into the
+Figure-7 classes (``<AGG>``, ``<CMP>``, ``<IUE>``, ``<OP>``); level 4
+(Clause) keeps only the principal clause keywords and ``<IUE>``.
+"""
+
+from __future__ import annotations
+
+from repro.sqlkit.keywords import CLAUSE_KEYWORDS, structure_class
+from repro.sqlkit.skeleton import PLACEHOLDER, skeleton_tokens
+
+LEVELS = ("detail", "keywords", "structure", "clause")
+
+_CLAUSE_KEEP = set(CLAUSE_KEYWORDS) | {"<IUE>"}
+
+
+def abstract_tokens(tokens: list, level: int) -> tuple:
+    """Abstract detail-level skeleton tokens to the given level (1-4).
+
+    Input tokens are as produced by
+    :func:`repro.sqlkit.skeleton.skeleton_tokens`.
+    """
+    if level not in (1, 2, 3, 4):
+        raise ValueError(f"abstraction level must be 1..4, got {level}")
+    if level == 1:
+        return tuple(tokens)
+    keywords = [t for t in tokens if t != PLACEHOLDER and t != ","]
+    if level == 2:
+        return tuple(keywords)
+    structure = [structure_class(t) if t not in ("(", ")") else t for t in keywords]
+    if level == 3:
+        return tuple(structure)
+    return tuple(t for t in structure if t in _CLAUSE_KEEP)
+
+
+def abstract_sql(sql: str, level: int) -> tuple:
+    """Abstraction of a full SQL string at the given level."""
+    return abstract_tokens(skeleton_tokens(sql), level)
+
+
+def abstraction_levels(tokens: list) -> dict:
+    """All four abstractions of a detail-level token list."""
+    return {level: abstract_tokens(tokens, level) for level in (1, 2, 3, 4)}

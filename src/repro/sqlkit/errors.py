@@ -1,0 +1,24 @@
+"""Exception types raised by the SQL toolkit."""
+
+from __future__ import annotations
+
+
+class SQLError(ValueError):
+    """Base class for all SQL toolkit errors."""
+
+
+class SQLTokenizeError(SQLError):
+    """Raised when the tokenizer encounters an unrecognized character."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} at position {position}")
+        self.position = position
+
+
+class SQLParseError(SQLError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+    def __init__(self, message: str, position: int = -1):
+        suffix = f" at token {position}" if position >= 0 else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position

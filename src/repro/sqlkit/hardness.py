@@ -1,0 +1,131 @@
+"""Spider's official SQL hardness classification (easy/medium/hard/extra).
+
+This reimplements the component-counting rules of Spider's ``evaluation.py``
+on our AST.  Figure 9 of the paper buckets accuracy by these labels.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sqlkit.ast_nodes import (
+    Agg,
+    BoolOp,
+    LikeExpr,
+    Node,
+    Query,
+    SelectCore,
+    Subquery,
+    SubquerySource,
+    walk,
+)
+from repro.sqlkit.parser import parse_sql
+
+
+class Hardness(str, enum.Enum):
+    """Spider's four official difficulty levels."""
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA = "extra"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ORDERED_LEVELS = (Hardness.EASY, Hardness.MEDIUM, Hardness.HARD, Hardness.EXTRA)
+
+
+def classify_hardness(sql_or_query) -> Hardness:
+    """Classify a SQL string or parsed :class:`Query` into a hardness level."""
+    query = sql_or_query if isinstance(sql_or_query, Query) else parse_sql(sql_or_query)
+    comp1 = _count_component1(query)
+    comp2 = _count_component2(query)
+    others = _count_others(query)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return Hardness.EASY
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return Hardness.MEDIUM
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return Hardness.HARD
+    return Hardness.EXTRA
+
+
+def _top_level_cores(query: Query) -> list[SelectCore]:
+    return query.all_cores()
+
+
+def _count_component1(query: Query) -> int:
+    """WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR, LIKE occurrences."""
+    count = 0
+    for core in _top_level_cores(query):
+        if core.where is not None:
+            count += 1
+        if core.group_by:
+            count += 1
+        if core.order_by:
+            count += 1
+        if core.limit is not None:
+            count += 1
+        if core.from_clause is not None and len(core.from_clause.sources()) > 1:
+            count += 1
+        for node in _walk_core(core):
+            if isinstance(node, BoolOp) and node.op == "OR":
+                count += len(node.terms) - 1
+            elif isinstance(node, LikeExpr):
+                count += 1
+    return count
+
+
+def _count_component2(query: Query) -> int:
+    """Nestedness: IUE compounds and subqueries."""
+    count = len(query.compounds)
+    for core in _top_level_cores(query):
+        for node in _walk_core(core):
+            if isinstance(node, (Subquery, SubquerySource)):
+                count += 1
+    return count
+
+
+def _count_others(query: Query) -> int:
+    """Number of "other" complexity axes exceeded (Spider's count_others)."""
+    agg_count = 0
+    select_cols = 0
+    where_conds = 0
+    group_cols = 0
+    for core in _top_level_cores(query):
+        select_cols = max(select_cols, len(core.items))
+        group_cols = max(group_cols, len(core.group_by))
+        where_conds = max(where_conds, _condition_count(core.where))
+        aggs = sum(1 for n in _walk_core(core) if isinstance(n, Agg))
+        agg_count = max(agg_count, aggs)
+    others = 0
+    if agg_count > 1:
+        others += 1
+    if select_cols > 1:
+        others += 1
+    if where_conds > 1:
+        others += 1
+    if group_cols > 1:
+        others += 1
+    return others
+
+
+def _condition_count(cond: Node | None) -> int:
+    if cond is None:
+        return 0
+    if isinstance(cond, BoolOp):
+        return sum(_condition_count(t) for t in cond.terms)
+    return 1
+
+
+def _walk_core(core: SelectCore):
+    """Walk a core without descending into sibling compound cores."""
+    yield from walk(core)

@@ -1,0 +1,132 @@
+"""SQL-skeleton extraction (PURPLE §II-C).
+
+A *skeleton* abstracts a SQL query from database specifics: every table,
+column, alias, and constant value is replaced by the placeholder ``_`` while
+all operational keywords are preserved.  The gold SQL of Figure 1b becomes::
+
+    SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _
+
+Skeletons are represented as token lists (``skeleton_tokens``) — the natural
+input for the four-level automaton — and as strings (``extract_skeleton``).
+"""
+
+from __future__ import annotations
+
+from repro.sqlkit.keywords import KEYWORDS
+from repro.sqlkit.tokens import Token, TokenKind, tokenize
+
+PLACEHOLDER = "_"
+
+# Keywords that survive skeletonization.  Everything lexical that is not a
+# keyword or operator collapses to the placeholder.
+_KEPT_KEYWORDS = KEYWORDS - {"AS"}
+
+
+def skeleton_tokens(sql: str) -> list[str]:
+    """Tokenize SQL and abstract it into skeleton tokens.
+
+    Adjacent placeholders produced by qualified names (``T1.country`` →
+    ``_ . _``) and alias phrases (``cartoon AS T2`` → ``_ _``) are merged
+    into a single ``_``.  Commas between placeholders are dropped (a
+    projection list of any width is one placeholder), matching the paper's
+    examples where ``SELECT a, b`` and ``SELECT a`` share a skeleton only at
+    the placeholder level.
+    """
+    raw = tokenize(sql)
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        tok = raw[i]
+        if _is_database_specific(tok):
+            # Swallow the full qualified/aliased name run.
+            i += 1
+            while i < n and _continues_name(raw, i):
+                i += 1
+            _append_placeholder(out)
+            continue
+        if tok.kind is TokenKind.PUNCT and tok.value == ",":
+            # Comma between placeholders merges them; keep commas that
+            # separate non-placeholder constructs (e.g. between two aggs).
+            if out and out[-1] == PLACEHOLDER and _next_is_specific(raw, i + 1):
+                i += 1
+                continue
+            out.append(",")
+            i += 1
+            continue
+        if tok.kind is TokenKind.PUNCT and tok.value == ";":
+            i += 1
+            continue
+        if tok.kind is TokenKind.KEYWORD and tok.value == "AS":
+            i += 1
+            continue
+        if tok.kind is TokenKind.KEYWORD and tok.value not in _KEPT_KEYWORDS:
+            i += 1
+            continue
+        if tok.kind is TokenKind.OP and tok.value == "*" and _star_is_projection(out):
+            # ``*`` as a projection (SELECT *, COUNT(*)) is database-facing;
+            # ``*`` between operands stays as the arithmetic operator.
+            _append_placeholder(out)
+            i += 1
+            continue
+        out.append(tok.value)
+        i += 1
+    return _merge_group_order(out)
+
+
+def _star_is_projection(out: list[str]) -> bool:
+    if not out:
+        return True
+    return out[-1] in ("SELECT", "DISTINCT", "(", ",")
+
+
+def extract_skeleton(sql: str) -> str:
+    """Return the skeleton of ``sql`` as a single string."""
+    return " ".join(skeleton_tokens(sql))
+
+
+def _append_placeholder(out: list[str]) -> None:
+    if not out or out[-1] != PLACEHOLDER:
+        out.append(PLACEHOLDER)
+    else:
+        # Two independent names merged; the paper keeps one placeholder per
+        # database-specific element position, so a second consecutive name
+        # (only possible via aliasing, e.g. ``cartoon AS T2``) stays merged.
+        pass
+
+
+def _is_database_specific(tok: Token) -> bool:
+    return tok.kind in (TokenKind.IDENT, TokenKind.NUMBER, TokenKind.STRING)
+
+
+def _continues_name(raw: list[Token], i: int) -> bool:
+    """True while still inside one qualified/aliased name run."""
+    tok = raw[i]
+    if tok.kind is TokenKind.PUNCT and tok.value == ".":
+        nxt = raw[i + 1] if i + 1 < len(raw) else None
+        return nxt is not None and _is_database_specific(nxt)
+    if _is_database_specific(tok):
+        prev = raw[i - 1]
+        return prev.kind is TokenKind.PUNCT and prev.value == "."
+    if tok.kind is TokenKind.KEYWORD and tok.value == "AS":
+        nxt = raw[i + 1] if i + 1 < len(raw) else None
+        return nxt is not None and _is_database_specific(nxt)
+    return False
+
+
+def _next_is_specific(raw: list[Token], i: int) -> bool:
+    return i < len(raw) and _is_database_specific(raw[i])
+
+
+def _merge_group_order(tokens: list[str]) -> list[str]:
+    """Canonicalize ``GROUP BY`` / ``ORDER BY`` into single tokens."""
+    out: list[str] = []
+    i = 0
+    while i < len(tokens):
+        if tokens[i] in ("GROUP", "ORDER") and i + 1 < len(tokens) and tokens[i + 1] == "BY":
+            out.append(f"{tokens[i]} BY")
+            i += 2
+            continue
+        out.append(tokens[i])
+        i += 1
+    return out

@@ -1,0 +1,143 @@
+"""SQL tokenizer for the Spider SQL subset.
+
+The tokenizer is deliberately forgiving about identifier quoting styles
+(backticks, double quotes, square brackets) because LLM output mixes them
+freely; the database-adaption module relies on being able to tokenize
+slightly malformed SQL before repairing it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sqlkit.errors import SQLTokenizeError
+from repro.sqlkit.keywords import KEYWORDS
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the canonical form: keywords are upper-cased, identifiers
+    keep their original spelling (comparison is case-insensitive downstream),
+    strings keep their quoted text without the quotes.
+    """
+
+    kind: TokenKind
+    value: str
+    position: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}:{self.value}"
+
+
+_MULTI_CHAR_OPS = ("<=", ">=", "!=", "<>", "||")
+_SINGLE_CHAR_OPS = "<>=+-*/|"
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize an SQL string into a list of :class:`Token`.
+
+    Raises :class:`SQLTokenizeError` on characters that cannot start a token.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"`[":
+            token, i = _read_quoted(sql, i)
+            tokens.append(token)
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            token, i = _read_number(sql, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token, i = _read_word(sql, i)
+            tokens.append(token)
+            continue
+        two = sql[i : i + 2]
+        if two in _MULTI_CHAR_OPS:
+            canonical = "!=" if two == "<>" else two
+            tokens.append(Token(TokenKind.OP, canonical, i))
+            i += 2
+            continue
+        if ch in _SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLTokenizeError(f"unexpected character {ch!r}", i)
+    return tokens
+
+
+def _read_quoted(sql: str, start: int) -> tuple[Token, int]:
+    """Read a quoted string or quoted identifier starting at ``start``."""
+    quote = sql[start]
+    close = "]" if quote == "[" else quote
+    i = start + 1
+    chars: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == close:
+            # Doubled quote inside a string escapes it ('' -> ').
+            if close in "'\"" and i + 1 < len(sql) and sql[i + 1] == close:
+                chars.append(close)
+                i += 2
+                continue
+            kind = TokenKind.STRING if quote == "'" else TokenKind.IDENT
+            return Token(kind, "".join(chars), start), i + 1
+        chars.append(ch)
+        i += 1
+    raise SQLTokenizeError("unterminated quoted token", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[Token, int]:
+    i = start
+    seen_dot = False
+    while i < len(sql) and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            # A trailing dot followed by a non-digit ends the number (e.g.
+            # "T1.col" never reaches here because idents are read first).
+            if i + 1 >= len(sql) or not sql[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    return Token(TokenKind.NUMBER, sql[start:i], start), i
+
+
+def _read_word(sql: str, start: int) -> tuple[Token, int]:
+    i = start
+    while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    word = sql[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenKind.KEYWORD, upper, start), i
+    return Token(TokenKind.IDENT, word, start), i

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG helpers and text normalization."""
+
+from repro.utils.rng import derive_rng, make_rng, stable_hash
+from repro.utils.text import (
+    normalize_identifier,
+    normalize_whitespace,
+    singularize,
+    split_words,
+)
+
+__all__ = [
+    "derive_rng",
+    "make_rng",
+    "stable_hash",
+    "normalize_identifier",
+    "normalize_whitespace",
+    "singularize",
+    "split_words",
+]

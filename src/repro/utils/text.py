@@ -1,0 +1,113 @@
+"""Small text-normalization helpers shared across the repository."""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+_IRREGULAR_PLURALS = {
+    "people": "person",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "mice": "mouse",
+    "countries": "country",
+    "cities": "city",
+    "companies": "company",
+    "categories": "category",
+    "series": "series",
+    "statuses": "status",
+    "addresses": "address",
+    "matches": "match",
+    "branches": "branch",
+    "classes": "class",
+    "courses": "course",
+    "movies": "movie",
+    "calories": "calorie",
+    "cookies": "cookie",
+}
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def normalize_identifier(name: str) -> str:
+    """Lowercase an SQL identifier and strip any quoting characters."""
+    return name.strip().strip('`"[]').lower()
+
+
+def split_words(text: str) -> list[str]:
+    """Split text into lowercase alphanumeric words.
+
+    Underscores and punctuation act as separators, so ``"invoice_date"``
+    yields ``["invoice", "date"]``.
+    """
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (used by the Schema-Hallucination repair)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (ca != cb),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def pluralize(phrase: str) -> str:
+    """Return a heuristic English plural of a noun phrase.
+
+    Only the last word is pluralized: ``"tv channel"`` → ``"tv channels"``.
+    """
+    words = phrase.split()
+    if not words:
+        return phrase
+    w = words[-1]
+    lower = w.lower()
+    if lower.endswith("s") and not lower.endswith("ss"):
+        plural = w  # already plural-shaped ("credits", "goals")
+    elif lower.endswith(("ss", "x", "z", "ch", "sh")):
+        plural = w + "es"
+    elif lower.endswith("y") and len(lower) > 1 and lower[-2] not in "aeiou":
+        plural = w[:-1] + "ies"
+    else:
+        plural = w + "s"
+    return " ".join(words[:-1] + [plural])
+
+
+def singularize(word: str) -> str:
+    """Return a heuristic singular form of an English noun.
+
+    This only needs to be good enough for schema linking between NL tokens
+    ("cartoons") and schema identifiers ("cartoon").
+    """
+    w = word.lower()
+    if w in _IRREGULAR_PLURALS:
+        return _IRREGULAR_PLURALS[w]
+    if len(w) > 3 and w.endswith("ies"):
+        return w[:-3] + "y"
+    if len(w) > 4 and (w.endswith("ches") or w.endswith("shes")):
+        return w[:-2]
+    if len(w) > 4 and w.endswith("sses"):
+        return w[:-2]
+    if len(w) > 3 and w.endswith("xes"):
+        return w[:-2]
+    if len(w) > 4 and w.endswith("zzes"):
+        return w[:-2]
+    if len(w) > 1 and w.endswith("s") and not w.endswith("ss"):
+        return w[:-1]
+    return w

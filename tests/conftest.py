@@ -1,0 +1,33 @@
+"""Shared fixtures: a small generated benchmark reused across test modules.
+
+Generating the corpus is deterministic but not free, so the small fixture
+benchmark is session-scoped.
+"""
+
+import pytest
+
+from repro.spider import GeneratorConfig, generate_benchmark
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A compact corpus: 1 variant per domain, 12 examples per database."""
+    return generate_benchmark(
+        GeneratorConfig(
+            seed=7,
+            train_variants=1,
+            dev_variants=1,
+            train_examples_per_db=12,
+            dev_examples_per_db=12,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def train_set(small_benchmark):
+    return small_benchmark.train
+
+
+@pytest.fixture(scope="session")
+def dev_set(small_benchmark):
+    return small_benchmark.dev

@@ -1,0 +1,81 @@
+"""Tests for the four-level automaton (§IV-C)."""
+
+import pytest
+
+from repro.core.automaton import AutomatonIndex, LevelAutomaton
+from repro.sqlkit.abstraction import abstract_tokens
+from repro.sqlkit.skeleton import skeleton_tokens
+
+DEMOS = [
+    "SELECT name FROM singer",                                    # 0
+    "SELECT title FROM album",                                    # 1 same skeleton as 0
+    "SELECT name FROM singer WHERE age > 30",                     # 2
+    "SELECT name FROM singer WHERE age >= 30",                    # 3
+    "SELECT country FROM tv_channel EXCEPT SELECT T1.country FROM "
+    "tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel",  # 4
+    "SELECT name FROM people WHERE id NOT IN (SELECT pid FROM poker)",  # 5
+]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return AutomatonIndex.build(DEMOS)
+
+
+class TestConstruction:
+    def test_four_levels(self, index):
+        assert set(index.levels) == {1, 2, 3, 4}
+
+    def test_end_state_counts_decrease_with_abstraction(self, index):
+        counts = index.end_state_counts()
+        assert counts[1] >= counts[2] >= counts[3] >= counts[4]
+
+    def test_same_skeleton_demos_share_end_state(self, index):
+        tokens = skeleton_tokens(DEMOS[0])
+        assert sorted(index.match(1, tokens)) == [0, 1]
+
+
+class TestMatching:
+    def test_detail_level_distinguishes_operators(self, index):
+        gt = skeleton_tokens(DEMOS[2])
+        ge = skeleton_tokens(DEMOS[3])
+        assert index.match(1, gt) == [2]
+        assert index.match(1, ge) == [3]
+
+    def test_structure_level_merges_operators(self, index):
+        gt = skeleton_tokens(DEMOS[2])
+        matched = index.match(3, gt)
+        assert sorted(matched) == [2, 3]  # > and >= both map to <CMP>
+
+    def test_clause_level_is_coarsest(self, index):
+        gt = skeleton_tokens(DEMOS[2])
+        matched = index.match(4, gt)
+        # At clause level, any SELECT-FROM-WHERE demo matches.
+        assert set(matched) >= {2, 3}
+
+    def test_absent_sequence_returns_empty(self, index):
+        tokens = skeleton_tokens(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a LIMIT 9"
+        )
+        assert index.match(1, tokens) == []
+
+    def test_except_vs_not_in_distinct_at_every_level(self, index):
+        except_tokens = skeleton_tokens(DEMOS[4])
+        for level in (1, 2, 3):
+            matched = index.match(level, except_tokens)
+            assert 4 in matched
+            assert 5 not in matched
+
+
+class TestLevelAutomaton:
+    def test_accepts(self):
+        automaton = LevelAutomaton(level=1)
+        automaton.add(("SELECT", "_", "FROM", "_"), 7)
+        assert automaton.accepts(("SELECT", "_", "FROM", "_"))
+        assert not automaton.accepts(("SELECT", "_"))
+
+    def test_match_order_is_insertion_order(self):
+        automaton = LevelAutomaton(level=1)
+        automaton.add(("A",), 3)
+        automaton.add(("A",), 1)
+        assert automaton.match(("A",)) == [3, 1]

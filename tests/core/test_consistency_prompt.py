@@ -1,0 +1,98 @@
+"""Tests for consistency voting and prompt packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import consistency_vote
+from repro.core.prompt import PromptBuilder
+from repro.llm.tokenizer import count_tokens
+from repro.llm.promptfmt import parse_prompt
+from repro.schema import SQLiteExecutor
+from repro.spider.domains import domain_by_name
+
+
+@pytest.fixture(scope="module")
+def db():
+    return domain_by_name("soccer").instantiate(0, seed=3)
+
+
+class TestConsistencyVote:
+    def test_majority_wins(self, db):
+        sqls = [
+            "SELECT COUNT(*) FROM player",
+            "SELECT COUNT(*) FROM team",
+            "SELECT COUNT(*) FROM player",
+            "SELECT COUNT(*) FROM player",
+        ]
+        with SQLiteExecutor() as executor:
+            assert consistency_vote(sqls, executor, db) == sqls[0]
+
+    def test_first_of_consensus_group_returned(self, db):
+        # Both produce identical results; the first SQL must be returned.
+        sqls = [
+            "SELECT name FROM player ORDER BY name",
+            "SELECT name FROM player",
+            "SELECT name FROM player",
+        ]
+        with SQLiteExecutor() as executor:
+            winner = consistency_vote(sqls, executor, db)
+        assert winner == sqls[0]
+
+    def test_invalid_candidates_excluded(self, db):
+        sqls = ["SELECT nope FROM player", "SELECT COUNT(*) FROM player"]
+        with SQLiteExecutor() as executor:
+            assert consistency_vote(sqls, executor, db) == sqls[1]
+
+    def test_all_invalid_returns_first(self, db):
+        sqls = ["SELECT nope FROM player", "SELEKT x"]
+        with SQLiteExecutor() as executor:
+            assert consistency_vote(sqls, executor, db) == sqls[0]
+
+    def test_empty_and_single(self, db):
+        with SQLiteExecutor() as executor:
+            assert consistency_vote([], executor, db) == ""
+            assert consistency_vote(["SELECT 1"], executor, db) == "SELECT 1"
+
+
+class TestPromptBuilder:
+    def test_budget_respected(self, train_set):
+        builder = PromptBuilder(train_set)
+        rng = np.random.default_rng(0)
+        for budget in (512, 1024, 2048):
+            prompt = builder.build(
+                "How many players are there?",
+                "Database: x\nTable t (a:text)",
+                demo_order=list(range(len(builder))),
+                budget=budget,
+                rng=rng,
+            )
+            assert count_tokens(prompt) <= budget + 50  # task block may exceed
+
+    def test_priority_demos_first(self, train_set):
+        builder = PromptBuilder(train_set)
+        prompt = builder.build(
+            "q?", "Database: x\nTable t (a:text)",
+            demo_order=[3, 1], budget=4000,
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.demos[0].question == train_set.examples[3].question
+        assert parsed.demos[1].question == train_set.examples[1].question
+
+    def test_random_fill_uses_leftover_budget(self, train_set):
+        builder = PromptBuilder(train_set)
+        rng = np.random.default_rng(0)
+        without_fill = builder.build("q?", "Database: x", [0], budget=3000)
+        with_fill = builder.build("q?", "Database: x", [0], budget=3000, rng=rng)
+        assert len(parse_prompt(with_fill).demos) > len(
+            parse_prompt(without_fill).demos
+        )
+
+    def test_demo_schema_is_pruned(self, train_set):
+        builder = PromptBuilder(train_set)
+        block = builder.demo_block(0)
+        ex = train_set.examples[0]
+        full = train_set.database(ex.db_id).schema
+        parsed = parse_prompt(block + "\n\n### Task\nDatabase: d\nQuestion: q\nSQL:")
+        demo_schema = parsed.demos[0].schema
+        n_cols = sum(len(cols) for cols in demo_schema.tables.values())
+        assert n_cols <= full.size()[1]

@@ -1,0 +1,46 @@
+"""Tests for the dialect function-mapping extension (§IV-D1 future work)."""
+
+import pytest
+
+from repro.core.adaption import DatabaseAdapter
+from repro.schema import SQLiteExecutor
+from repro.spider.domains import domain_by_name
+
+
+@pytest.fixture(scope="module")
+def db():
+    return domain_by_name("soccer").instantiate(0, seed=3)
+
+
+class TestFunctionMapping:
+    def test_default_omits_function(self, db):
+        adapter = DatabaseAdapter(SQLiteExecutor())
+        outcome = adapter.adapt("SELECT CONCAT(name, ' ', position) FROM player", db)
+        assert outcome.repaired
+        assert "CONCAT" not in outcome.sql and "||" not in outcome.sql
+
+    def test_mapping_translates_to_concat_operator(self, db):
+        adapter = DatabaseAdapter(SQLiteExecutor(), map_functions=True)
+        outcome = adapter.adapt("SELECT CONCAT(name, ' ', position) FROM player", db)
+        assert outcome.repaired
+        assert "||" in outcome.sql
+
+    def test_mapped_sql_preserves_both_columns(self, db):
+        adapter = DatabaseAdapter(SQLiteExecutor(), map_functions=True)
+        outcome = adapter.adapt("SELECT CONCAT(name, ' ', position) FROM player", db)
+        assert "name" in outcome.sql and "position" in outcome.sql
+
+    def test_mapped_sql_executes_with_concatenated_values(self, db):
+        adapter = DatabaseAdapter(SQLiteExecutor(), map_functions=True)
+        outcome = adapter.adapt("SELECT CONCAT(name, ' ', position) FROM player", db)
+        with SQLiteExecutor() as executor:
+            key = executor.register(db)
+            result = executor.execute(key, outcome.sql)
+        assert result.ok
+        first = result.rows[0][0]
+        assert " " in first  # name<space>position
+
+    def test_valid_sql_untouched_even_with_mapping(self, db):
+        adapter = DatabaseAdapter(SQLiteExecutor(), map_functions=True)
+        sql = "SELECT name FROM player"
+        assert adapter.adapt(sql, db).sql == sql

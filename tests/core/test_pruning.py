@@ -1,0 +1,98 @@
+"""Tests for Steiner-tree schema pruning (§IV-A)."""
+
+import pytest
+
+from repro.core.pruning import SchemaPruner
+from repro.plm import train_schema_classifier
+from repro.plm.labels import used_schema_items
+
+
+@pytest.fixture(scope="module")
+def pruner(request):
+    train = request.getfixturevalue("train_set")
+    classifier = train_schema_classifier(train, epochs=200)
+    return SchemaPruner(classifier=classifier)
+
+
+class TestPruning:
+    def test_pruned_is_subset(self, pruner, dev_set):
+        ex = dev_set.examples[0]
+        db = dev_set.database(ex.db_id)
+        pruned = pruner.prune(ex.question, db)
+        full_tables = set(db.schema.table_names())
+        assert set(pruned.table_names()) <= full_tables
+        assert pruned.size()[1] <= db.schema.size()[1]
+
+    def test_high_table_recall(self, pruner, dev_set):
+        hits = total = 0
+        for ex in dev_set.examples[:40]:
+            db = dev_set.database(ex.db_id)
+            pruned = pruner.prune(ex.question, db)
+            used_tables, _ = used_schema_items(ex.sql, db.schema)
+            kept = {t.lower() for t in pruned.table_names()}
+            hits += len(kept & used_tables)
+            total += len(used_tables)
+        assert hits / total > 0.9  # §IV-A: recall must stay high
+
+    def test_kept_tables_connected_when_possible(self, pruner, dev_set):
+        from repro.schema import SchemaGraph
+        import networkx as nx
+
+        for ex in dev_set.examples[:20]:
+            db = dev_set.database(ex.db_id)
+            pruned = pruner.prune(ex.question, db)
+            if len(pruned.tables) < 2:
+                continue
+            graph = SchemaGraph(db.schema).graph.subgraph(
+                [t.key for t in pruned.tables]
+            )
+            assert nx.is_connected(graph), (ex.question, pruned.table_names())
+
+    def test_primary_keys_kept(self, pruner, dev_set):
+        ex = dev_set.examples[0]
+        db = dev_set.database(ex.db_id)
+        pruned = pruner.prune(ex.question, db)
+        for table in pruned.tables:
+            full = db.schema.table(table.key)
+            if full.primary_key:
+                assert table.has_column(full.primary_key)
+
+    def test_join_fk_columns_kept(self, pruner, dev_set):
+        for ex in dev_set.examples[:20]:
+            db = dev_set.database(ex.db_id)
+            pruned = pruner.prune(ex.question, db)
+            kept = {t.key for t in pruned.tables}
+            for fk in db.schema.foreign_keys:
+                src_t, src_c, dst_t, dst_c = fk.normalized()
+                if src_t in kept and dst_t in kept:
+                    assert pruned.table(src_t).has_column(src_c)
+                    assert pruned.table(dst_t).has_column(dst_c)
+
+    def test_never_empty(self, pruner, dev_set):
+        ex = dev_set.examples[0]
+        db = dev_set.database(ex.db_id)
+        pruned = pruner.prune("completely unrelated gibberish", db)
+        assert pruned.tables
+
+
+class TestRESDSQLFallback:
+    def test_topk_mode(self, pruner, dev_set):
+        resd = SchemaPruner(
+            classifier=pruner.classifier, use_steiner=False,
+            topk_tables=2, topk_columns=3,
+        )
+        ex = dev_set.examples[0]
+        db = dev_set.database(ex.db_id)
+        pruned = resd.prune(ex.question, db)
+        assert len(pruned.tables) <= 2
+
+    def test_topk_keeps_more_columns_than_needed(self, pruner, dev_set):
+        """The RESDSQL-style pruning generally keeps more (or unconnected)
+        schema than the Steiner approach — the Table-6 '-Steiner' story."""
+        resd = SchemaPruner(classifier=pruner.classifier, use_steiner=False)
+        steiner_cols = resd_cols = 0
+        for ex in dev_set.examples[:25]:
+            db = dev_set.database(ex.db_id)
+            steiner_cols += pruner.prune(ex.question, db).size()[1]
+            resd_cols += resd.prune(ex.question, db).size()[1]
+        assert resd_cols >= steiner_cols * 0.8

@@ -1,0 +1,79 @@
+"""Tests for the skeleton-prediction module (OOV cleanup, token merging)."""
+
+import pytest
+
+from repro.core.skeleton_prediction import (
+    PredictedSkeleton,
+    SkeletonPredictionModule,
+    _merge_multiword,
+)
+
+
+class _StubPredictor:
+    def __init__(self, outputs):
+        self.outputs = outputs
+
+    def predict(self, question, schema=None, k=3):
+        return self.outputs[:k]
+
+
+class TestMergeMultiword:
+    def test_order_by_rejoined(self):
+        assert _merge_multiword(["ORDER", "BY", "_"]) == ["ORDER BY", "_"]
+
+    def test_group_by_rejoined(self):
+        assert _merge_multiword(["GROUP", "BY", "_"]) == ["GROUP BY", "_"]
+
+    def test_plain_tokens_untouched(self):
+        tokens = ["SELECT", "_", "FROM", "_"]
+        assert _merge_multiword(tokens) == tokens
+
+    def test_trailing_order_without_by(self):
+        assert _merge_multiword(["ORDER"]) == ["ORDER"]
+
+
+class TestModule:
+    def test_order_by_skeleton_round_trips_to_automaton_tokens(self):
+        """Regression: predicted 'ORDER BY' must stay one token, or the
+        automaton can never match ordering skeletons."""
+        module = SkeletonPredictionModule(
+            predictor=_StubPredictor(
+                [("SELECT _ FROM _ ORDER BY _ DESC LIMIT _", 0.9)]
+            ),
+            top_k=1,
+        )
+        [skeleton] = module.predict("q")
+        assert "ORDER BY" in skeleton.tokens
+        assert "ORDER" not in skeleton.tokens
+
+        from repro.core.automaton import AutomatonIndex
+
+        index = AutomatonIndex.build(["SELECT a FROM t ORDER BY b DESC LIMIT 1"])
+        assert index.match(1, skeleton.tokens) == [0]
+
+    def test_oov_tokens_removed(self):
+        module = SkeletonPredictionModule(
+            predictor=_StubPredictor([("SELECT _ FROM _ FROBNICATE", 0.5)]),
+            top_k=1,
+        )
+        [skeleton] = module.predict("q")
+        assert "FROBNICATE" not in skeleton.tokens
+
+    def test_empty_prediction_dropped(self):
+        module = SkeletonPredictionModule(
+            predictor=_StubPredictor([("???", 0.5), ("SELECT _ FROM _", 0.3)]),
+            top_k=2,
+        )
+        results = module.predict("q")
+        assert len(results) == 1
+        assert results[0].probability == 0.3
+
+    def test_top_k_respected(self):
+        module = SkeletonPredictionModule(
+            predictor=_StubPredictor(
+                [("SELECT _ FROM _", 0.5), ("SELECT COUNT ( _ ) FROM _", 0.3),
+                 ("SELECT _ FROM _ WHERE _ = _", 0.1)]
+            ),
+            top_k=2,
+        )
+        assert len(module.predict("q")) == 2

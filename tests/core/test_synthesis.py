@@ -1,0 +1,117 @@
+"""Tests for generation-based prompting (the §VII future-work extension)."""
+
+import pytest
+
+from repro.core.synthesis import synthesize_sql
+from repro.schema import SQLiteExecutor
+from repro.spider.domains import domain_by_name
+from repro.sqlkit import parse_sql
+from repro.sqlkit.skeleton import skeleton_tokens, extract_skeleton
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = domain_by_name("soccer").instantiate(0, seed=5)
+    executor = SQLiteExecutor()
+    executor.register(db)
+    yield db, executor
+    executor.close()
+
+
+def synth(env, skeleton_sql):
+    db, executor = env
+    tokens = tuple(skeleton_tokens(skeleton_sql))
+    return synthesize_sql(tokens, db.schema, db, executor=executor), tokens
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize(
+        "template",
+        [
+            "SELECT a FROM t",
+            "SELECT a, b FROM t",
+            "SELECT COUNT(*) FROM t",
+            "SELECT a FROM t WHERE b > 1",
+            "SELECT a FROM t WHERE b = 'x' AND c < 2",
+            "SELECT a FROM t WHERE b LIKE '%x%'",
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+            "SELECT a FROM t ORDER BY b DESC LIMIT 3",
+            "SELECT MAX(a) FROM t",
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y",
+            "SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)",
+            "SELECT a FROM t EXCEPT SELECT T1.a FROM t AS T1 JOIN u AS T2 "
+            "ON T1.x = T2.y",
+        ],
+    )
+    def test_synthesized_sql_is_executable_with_same_skeleton(self, env, template):
+        sql, tokens = synth(env, template)
+        assert sql is not None, template
+        parse_sql(sql)
+        db, executor = env
+        assert executor.execute(db.db_id, sql).ok
+        assert tuple(skeleton_tokens(sql)) == tokens, (template, sql)
+
+    def test_values_come_from_the_database(self, env):
+        sql, _ = synth(env, "SELECT a FROM t WHERE b = 'x'")
+        assert sql is not None
+        # The filter value must be a real value of the filtered column.
+        db, _ = env
+        assert any(
+            str(v) in sql
+            for table in db.schema.tables
+            for col in table.columns
+            for v in db.column_values(table.name, col.name, limit=30)
+            if isinstance(v, str)
+        )
+
+    def test_unfillable_skeleton_returns_none(self, env):
+        db, executor = env
+        # A FROM-subquery is outside the filler's scope.
+        tokens = tuple(
+            skeleton_tokens("SELECT COUNT(*) FROM (SELECT DISTINCT a FROM t) AS x")
+        )
+        assert synthesize_sql(tokens, db.schema, db, executor=executor) is None
+
+    def test_garbage_tokens_return_none(self, env):
+        db, executor = env
+        assert synthesize_sql(("FROM", "WHERE"), db.schema, db,
+                              executor=executor) is None
+
+
+class TestPipelineIntegration:
+    def test_synthesis_flag_accepted(self, train_set, dev_set):
+        from repro.core import Purple, PurpleConfig
+        from repro.eval import TranslationTask
+        from repro.llm import CHATGPT, MockLLM
+
+        purple = Purple(
+            MockLLM(CHATGPT, seed=1),
+            PurpleConfig(consistency_n=2, use_synthesis=True),
+        ).fit(train_set)
+        ex = dev_set.examples[0]
+        result = purple.translate(
+            TranslationTask(
+                question=ex.question, database=dev_set.database(ex.db_id)
+            )
+        )
+        assert result.sql
+        purple.close()
+
+    def test_map_functions_flag_accepted(self, train_set, dev_set):
+        from repro.core import Purple, PurpleConfig
+        from repro.eval import TranslationTask
+        from repro.llm import CHATGPT, MockLLM
+
+        purple = Purple(
+            MockLLM(CHATGPT, seed=1),
+            PurpleConfig(consistency_n=2, map_functions=True),
+        ).fit(train_set)
+        ex = dev_set.examples[1]
+        result = purple.translate(
+            TranslationTask(
+                question=ex.question, database=dev_set.database(ex.db_id)
+            )
+        )
+        assert result.sql
+        purple.close()

@@ -1,0 +1,64 @@
+"""Additional coverage for EvaluationReport and cost accounting."""
+
+from repro.eval import EvaluationReport, ExampleOutcome, TokenUsage
+
+
+def outcome(em, ex, ts=None, hardness="easy", tokens=(10, 5)):
+    return ExampleOutcome(
+        ex_id="x",
+        hardness=hardness,
+        predicted_sql="SELECT 1",
+        em=em,
+        ex=ex,
+        ts=ts,
+        usage=TokenUsage(prompt_tokens=tokens[0], output_tokens=tokens[1], calls=1),
+    )
+
+
+class TestEvaluationReport:
+    def test_empty_report_rates_zero(self):
+        report = EvaluationReport(approach="a", dataset="d")
+        assert report.em == 0.0 and report.ex == 0.0 and report.ts == 0.0
+        assert report.tokens_per_query() == 0
+
+    def test_rates(self):
+        report = EvaluationReport(
+            approach="a",
+            dataset="d",
+            outcomes=[outcome(True, True), outcome(False, True),
+                      outcome(False, False), outcome(True, True)],
+        )
+        assert report.em == 0.5
+        assert report.ex == 0.75
+
+    def test_ts_only_counts_scored(self):
+        report = EvaluationReport(
+            approach="a",
+            dataset="d",
+            outcomes=[outcome(True, True, ts=True), outcome(True, True, ts=None),
+                      outcome(True, True, ts=False)],
+        )
+        assert report.ts == 0.5
+
+    def test_by_hardness_ordering(self):
+        report = EvaluationReport(
+            approach="a",
+            dataset="d",
+            outcomes=[
+                outcome(True, True, hardness="extra"),
+                outcome(False, True, hardness="easy"),
+            ],
+        )
+        buckets = report.by_hardness("em")
+        assert list(buckets) == ["easy", "extra"]  # canonical order
+
+    def test_usage_totals(self):
+        report = EvaluationReport(
+            approach="a",
+            dataset="d",
+            outcomes=[outcome(True, True, tokens=(100, 20)),
+                      outcome(True, True, tokens=(50, 10))],
+        )
+        assert report.usage.prompt_tokens == 150
+        assert report.usage.output_tokens == 30
+        assert report.tokens_per_query() == 90

@@ -1,0 +1,150 @@
+"""Tests for the Exact-Set Match metric."""
+
+import pytest
+
+from repro.eval import exact_set_match
+
+
+class TestIdentity:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name FROM singer",
+            "SELECT COUNT(*) FROM t WHERE a = 1",
+            "SELECT a, b FROM t GROUP BY a HAVING COUNT(*) > 2",
+            "SELECT a FROM t EXCEPT SELECT a FROM u",
+        ],
+    )
+    def test_query_matches_itself(self, sql):
+        assert exact_set_match(sql, sql)
+
+
+class TestSetSemantics:
+    def test_projection_order_irrelevant(self):
+        assert exact_set_match("SELECT a, b FROM t", "SELECT b, a FROM t")
+
+    def test_conjunct_order_irrelevant(self):
+        assert exact_set_match(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_join_table_order_irrelevant(self):
+        a = "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y"
+        b = "SELECT T1.a FROM u AS T2 JOIN t AS T1 ON T2.y = T1.x"
+        assert exact_set_match(a, b)
+
+    def test_order_by_sequence_matters(self):
+        assert not exact_set_match(
+            "SELECT a FROM t ORDER BY b, c", "SELECT a FROM t ORDER BY c, b"
+        )
+
+
+class TestAliasAndCase:
+    def test_alias_names_irrelevant(self):
+        a = "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y"
+        b = "SELECT X.a FROM t AS X JOIN u AS Y ON X.x = Y.y"
+        assert exact_set_match(a, b)
+
+    def test_case_insensitive_identifiers(self):
+        assert exact_set_match("SELECT Name FROM Singer", "SELECT name FROM singer")
+
+    def test_sole_table_qualification(self):
+        assert exact_set_match(
+            "SELECT name FROM singer", "SELECT singer.name FROM singer"
+        )
+
+
+class TestValueMasking:
+    def test_different_constants_match(self):
+        assert exact_set_match(
+            "SELECT a FROM t WHERE b > 10", "SELECT a FROM t WHERE b > 99"
+        )
+
+    def test_different_operators_do_not_match(self):
+        assert not exact_set_match(
+            "SELECT a FROM t WHERE b > 10", "SELECT a FROM t WHERE b >= 10"
+        )
+
+    def test_limit_value_matters(self):
+        assert not exact_set_match(
+            "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"
+        )
+
+
+class TestCompositionStrictness:
+    """The paper's core point: EX-equivalent but differently composed
+    queries must NOT exact-set match."""
+
+    def test_not_in_vs_except(self):
+        not_in = (
+            "SELECT country FROM tv_channel WHERE id NOT IN "
+            "(SELECT channel FROM cartoon)"
+        )
+        except_q = (
+            "SELECT country FROM tv_channel EXCEPT SELECT T1.country FROM "
+            "tv_channel AS T1 JOIN cartoon AS T2 ON T1.id = T2.channel"
+        )
+        assert not exact_set_match(not_in, except_q)
+
+    def test_order_limit_vs_max_subquery(self):
+        a = "SELECT name FROM t ORDER BY age DESC LIMIT 1"
+        b = "SELECT name FROM t WHERE age = (SELECT MAX(age) FROM t)"
+        assert not exact_set_match(a, b)
+
+    def test_distinct_flag_matters(self):
+        assert not exact_set_match(
+            "SELECT country FROM singer", "SELECT DISTINCT country FROM singer"
+        )
+
+    def test_distinct_inside_count_matters(self):
+        assert not exact_set_match(
+            "SELECT COUNT(a) FROM t", "SELECT COUNT(DISTINCT a) FROM t"
+        )
+
+    def test_union_vs_or(self):
+        a = "SELECT a FROM t WHERE x = 1 OR y = 2"
+        b = "SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t WHERE y = 2"
+        assert not exact_set_match(a, b)
+
+    def test_having_ge_vs_gt(self):
+        a = "SELECT a FROM t GROUP BY a HAVING COUNT(*) >= 4"
+        b = "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 3"
+        assert not exact_set_match(a, b)
+
+
+class TestClauseDifferences:
+    def test_missing_where(self):
+        assert not exact_set_match(
+            "SELECT a FROM t WHERE b = 1", "SELECT a FROM t"
+        )
+
+    def test_different_projection(self):
+        assert not exact_set_match("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_different_table(self):
+        assert not exact_set_match("SELECT a FROM t", "SELECT a FROM u")
+
+    def test_group_by_column_matters(self):
+        assert not exact_set_match(
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT a, COUNT(*) FROM t GROUP BY b",
+        )
+
+    def test_subquery_compared_recursively(self):
+        a = "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)"
+        b = "SELECT a FROM t WHERE b IN (SELECT c FROM u)"
+        assert not exact_set_match(a, b)
+
+
+class TestRobustness:
+    def test_unparseable_prediction_fails(self):
+        assert not exact_set_match("SELECT a FROM t", "SELEKT a FROMM t")
+
+    def test_empty_prediction_fails(self):
+        assert not exact_set_match("SELECT a FROM t", "")
+
+    def test_join_condition_direction_irrelevant(self):
+        a = "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.y"
+        b = "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T2.y = T1.x"
+        assert exact_set_match(a, b)

@@ -1,0 +1,92 @@
+"""Tests for the Execution Match metric."""
+
+import pytest
+
+from repro.eval import execution_match
+from repro.schema import Column, Database, Schema, SQLiteExecutor, Table
+
+
+@pytest.fixture
+def executor():
+    schema = Schema(
+        db_id="demo",
+        tables=[
+            Table(
+                name="singer",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("name", "text"),
+                    Column("country", "text"),
+                    Column("age", "integer"),
+                ],
+            )
+        ],
+    )
+    db = Database(
+        schema=schema,
+        rows={
+            "singer": [
+                (1, "Ada", "UK", 30),
+                (2, "Bo", "USA", 45),
+                (3, "Cy", "UK", 45),
+                (4, "Dee", "France", 20),
+            ]
+        },
+    )
+    with SQLiteExecutor() as ex:
+        ex.register(db)
+        yield ex
+
+
+class TestBasicMatching:
+    def test_identical_queries_match(self, executor):
+        sql = "SELECT name FROM singer WHERE age > 25"
+        assert execution_match(executor, "demo", sql, sql)
+
+    def test_row_order_ignored_without_order_by(self, executor):
+        gold = "SELECT name FROM singer"
+        pred = "SELECT name FROM singer ORDER BY name DESC"
+        assert execution_match(executor, "demo", gold, pred)
+
+    def test_order_by_in_gold_enforces_order(self, executor):
+        gold = "SELECT name FROM singer ORDER BY age ASC"
+        pred = "SELECT name FROM singer ORDER BY age DESC"
+        assert not execution_match(executor, "demo", gold, pred)
+
+    def test_semantically_equal_different_syntax(self, executor):
+        gold = "SELECT name FROM singer WHERE age >= 45"
+        pred = "SELECT name FROM singer WHERE age > 44"
+        assert execution_match(executor, "demo", gold, pred)
+
+    def test_different_results_fail(self, executor):
+        gold = "SELECT name FROM singer WHERE age > 25"
+        pred = "SELECT name FROM singer WHERE age < 25"
+        assert not execution_match(executor, "demo", gold, pred)
+
+
+class TestMultisetSemantics:
+    def test_duplicate_counts_matter(self, executor):
+        gold = "SELECT country FROM singer"
+        pred = "SELECT DISTINCT country FROM singer"
+        assert not execution_match(executor, "demo", gold, pred)
+
+    def test_column_count_matters(self, executor):
+        gold = "SELECT name FROM singer"
+        pred = "SELECT name, age FROM singer"
+        assert not execution_match(executor, "demo", gold, pred)
+
+
+class TestErrors:
+    def test_invalid_prediction_fails_quietly(self, executor):
+        gold = "SELECT name FROM singer"
+        assert not execution_match(executor, "demo", gold, "SELECT nope FROM singer")
+
+    def test_invalid_gold_raises(self, executor):
+        with pytest.raises(ValueError):
+            execution_match(executor, "demo", "SELECT nope FROM singer", "SELECT 1")
+
+    def test_float_rounding_tolerance(self, executor):
+        gold = "SELECT AVG(age) FROM singer"
+        pred = "SELECT SUM(age) * 1.0 / COUNT(*) FROM singer"
+        assert execution_match(executor, "demo", gold, pred)

@@ -1,0 +1,90 @@
+"""Tests for the evaluation harness using stub approaches."""
+
+from dataclasses import dataclass
+
+from repro.eval import (
+    EvaluationReport,
+    TokenUsage,
+    TranslationResult,
+    TranslationTask,
+    evaluate_approach,
+)
+
+
+@dataclass
+class OracleApproach:
+    """Returns the gold SQL (smuggled in via a lookup) — upper bound."""
+
+    lookup: dict
+    name: str = "oracle"
+
+    def translate(self, task: TranslationTask) -> TranslationResult:
+        sql = self.lookup[(task.db_id, task.question)]
+        return TranslationResult(
+            sql=sql, usage=TokenUsage(prompt_tokens=100, output_tokens=20, calls=1)
+        )
+
+
+@dataclass
+class BrokenApproach:
+    name: str = "broken"
+
+    def translate(self, task: TranslationTask) -> TranslationResult:
+        return TranslationResult(sql="SELECT nothing FROM nowhere")
+
+
+def _oracle(dataset):
+    return OracleApproach(
+        lookup={(ex.db_id, ex.question): ex.sql for ex in dataset}
+    )
+
+
+class TestHarness:
+    def test_oracle_scores_perfect(self, dev_set):
+        report = evaluate_approach(_oracle(dev_set), dev_set, limit=20)
+        assert report.em == 1.0
+        assert report.ex == 1.0
+
+    def test_broken_scores_zero(self, dev_set):
+        report = evaluate_approach(BrokenApproach(), dev_set, limit=10)
+        assert report.em == 0.0
+        assert report.ex == 0.0
+
+    def test_limit_respected(self, dev_set):
+        report = evaluate_approach(_oracle(dev_set), dev_set, limit=7)
+        assert len(report) == 7
+
+    def test_by_hardness_covers_all_outcomes(self, dev_set):
+        report = evaluate_approach(_oracle(dev_set), dev_set, limit=30)
+        buckets = report.by_hardness("em")
+        assert buckets
+        assert all(v == 1.0 for v in buckets.values())
+
+    def test_token_accounting(self, dev_set):
+        report = evaluate_approach(_oracle(dev_set), dev_set, limit=5)
+        assert report.usage.prompt_tokens == 500
+        assert report.usage.output_tokens == 100
+        assert report.tokens_per_query() == 120
+
+    def test_ts_none_without_suites(self, dev_set):
+        report = evaluate_approach(_oracle(dev_set), dev_set, limit=3)
+        assert all(o.ts is None for o in report.outcomes)
+        assert report.ts == 0.0
+
+
+class TestTokenUsage:
+    def test_add_accumulates(self):
+        a = TokenUsage(10, 5, 1)
+        a.add(TokenUsage(20, 10, 2))
+        assert (a.prompt_tokens, a.output_tokens, a.calls) == (30, 15, 3)
+
+    def test_total(self):
+        assert TokenUsage(7, 3).total_tokens == 10
+
+    def test_per_query(self):
+        per = TokenUsage(100, 50, 10).per_query(10)
+        assert per.prompt_tokens == 10
+        assert per.output_tokens == 5
+
+    def test_per_query_zero_safe(self):
+        assert TokenUsage(5, 5).per_query(0).total_tokens == 0

@@ -1,0 +1,77 @@
+"""Tests for result rendering."""
+
+import pytest
+
+from repro.eval import EvaluationReport, ExampleOutcome, TokenUsage
+from repro.eval.reporting import (
+    hardness_table,
+    markdown_table,
+    save_csv,
+    summary_rows,
+    to_csv,
+)
+
+
+@pytest.fixture
+def reports():
+    def outcome(em, ex, hardness="easy"):
+        return ExampleOutcome(
+            ex_id="x", hardness=hardness, predicted_sql="SELECT 1",
+            em=em, ex=ex, usage=TokenUsage(100, 10, 1),
+        )
+
+    a = EvaluationReport(
+        approach="purple", dataset="dev",
+        outcomes=[outcome(True, True), outcome(False, True, "extra")],
+    )
+    b = EvaluationReport(
+        approach="zero", dataset="dev",
+        outcomes=[outcome(False, True), outcome(False, False, "extra")],
+    )
+    return {"purple": a, "zero": b}
+
+
+class TestSummary:
+    def test_rows(self, reports):
+        rows = summary_rows(reports)
+        assert rows[0]["approach"] == "purple"
+        assert rows[0]["em"] == 0.5
+        assert rows[0]["queries"] == 2
+        assert rows[0]["tokens_per_query"] == 110
+
+    def test_empty(self):
+        assert summary_rows({}) == []
+        assert markdown_table({}) == ""
+        assert to_csv({}) == ""
+
+
+class TestMarkdown:
+    def test_table_structure(self, reports):
+        table = markdown_table(reports)
+        lines = table.splitlines()
+        assert lines[0].startswith("| approach |")
+        assert lines[1].startswith("| --- |")
+        assert len(lines) == 4
+        assert "50.0%" in table
+
+    def test_ts_column_optional(self, reports):
+        assert "ts" not in markdown_table(reports).splitlines()[0]
+        assert " ts " in markdown_table(reports, include_ts=True).splitlines()[0]
+
+    def test_hardness_table(self, reports):
+        table = hardness_table(reports["purple"], "em")
+        assert "easy" in table and "extra" in table
+        assert "100.0%" in table and "0.0%" in table
+
+
+class TestCSV:
+    def test_round_trip(self, reports, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(reports, path)
+        import csv as csvmod
+
+        with open(path) as fh:
+            rows = list(csvmod.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["approach"] == "purple"
+        assert float(rows[0]["em"]) == 0.5

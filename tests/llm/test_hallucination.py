@@ -1,0 +1,107 @@
+"""Tests for hallucination injection (the six Table-2 error classes)."""
+
+import numpy as np
+import pytest
+
+from repro.llm import build_prompt, parse_prompt, render_schema
+from repro.llm.hallucination import ERROR_TYPES, inject_hallucination, inject_specific
+from repro.schema import SQLiteExecutor
+from repro.spider.domains import domain_by_name
+from repro.sqlkit import parse_sql, render_sql
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = domain_by_name("soccer").instantiate(0, seed=3)
+    schema_info = parse_prompt(build_prompt(render_schema(db), "q")).task_schema
+    executor = SQLiteExecutor()
+    executor.register(db)
+    return db, schema_info, executor
+
+
+JOIN_SQL = (
+    "SELECT T1.name FROM player AS T1 JOIN team AS T2 ON T1.team_id = T2.id "
+    "WHERE T2.city = 'Rome'"
+)
+
+
+class TestInjectors:
+    def test_table_column_mismatch_breaks_execution(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql("SELECT T1.goals FROM player AS T1 JOIN team AS T2 "
+                      "ON T1.team_id = T2.id"),
+            schema, "table_column_mismatch", np.random.default_rng(0),
+        )
+        assert q is not None
+        assert not executor.execute("soccer", render_sql(q)).ok
+
+    def test_column_ambiguity(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql(JOIN_SQL), schema, "column_ambiguity",
+            np.random.default_rng(0),
+        )
+        assert q is not None
+        result = executor.execute("soccer", render_sql(q))
+        assert not result.ok and "ambiguous" in result.error
+
+    def test_missing_table(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql(JOIN_SQL), schema, "missing_table", np.random.default_rng(0)
+        )
+        assert q is not None
+        assert "JOIN" not in render_sql(q)
+        assert not executor.execute("soccer", render_sql(q)).ok
+
+    def test_function_hallucination(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql("SELECT name FROM player"), schema,
+            "function_hallucination", np.random.default_rng(0),
+        )
+        assert "CONCAT" in render_sql(q)
+        assert not executor.execute("soccer", render_sql(q)).ok
+
+    def test_schema_hallucination(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql("SELECT name FROM player"), schema,
+            "schema_hallucination", np.random.default_rng(0),
+        )
+        assert q is not None
+        assert not executor.execute("soccer", render_sql(q)).ok
+
+    def test_aggregation_hallucination(self, env):
+        db, schema, executor = env
+        q = inject_specific(
+            parse_sql("SELECT COUNT(DISTINCT position) FROM player"),
+            schema, "aggregation_hallucination", np.random.default_rng(0),
+        )
+        assert q is not None
+        assert not executor.execute("soccer", render_sql(q)).ok
+
+    def test_single_table_mismatch_not_applicable(self, env):
+        db, schema, _ = env
+        q = inject_specific(
+            parse_sql("SELECT name FROM player"), schema,
+            "table_column_mismatch", np.random.default_rng(0),
+        )
+        assert q is None
+
+
+class TestInjectDispatcher:
+    def test_returns_type_when_applicable(self, env):
+        db, schema, _ = env
+        q, error_type = inject_hallucination(
+            parse_sql(JOIN_SQL), schema, np.random.default_rng(1)
+        )
+        assert error_type in ERROR_TYPES
+
+    def test_original_untouched(self, env):
+        db, schema, _ = env
+        original = parse_sql(JOIN_SQL)
+        before = render_sql(original)
+        inject_hallucination(original, schema, np.random.default_rng(1))
+        assert render_sql(original) == before

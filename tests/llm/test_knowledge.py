@@ -1,0 +1,65 @@
+"""Tests for the simulated world knowledge (thesaurus + DK facts)."""
+
+import pytest
+
+from repro.llm.knowledge import (
+    build_dk_table,
+    build_thesaurus,
+    knows_phrase,
+    lookup_dk,
+    lookup_synonym,
+)
+
+
+class TestThesaurus:
+    def test_synonyms_map_to_canonical(self):
+        thesaurus = build_thesaurus()
+        assert "nationality" in thesaurus
+        assert "country" in thesaurus["nationality"]["canonical"]
+
+    def test_natural_names_always_known(self):
+        # Column written_by has natural name "writer" — always-known alias.
+        assert "written by" in lookup_synonym("writer", coverage=0.0)
+
+    def test_zero_coverage_blocks_synonyms(self):
+        # "wage" is a salary synonym, never a natural name.
+        assert lookup_synonym("wage", coverage=0.0) == []
+
+    def test_full_coverage_resolves_synonyms(self):
+        assert "salary" in lookup_synonym("wage", coverage=1.0)
+
+    def test_unknown_phrase_empty(self):
+        assert lookup_synonym("flibbertigibbet", coverage=1.0) == []
+
+    def test_coverage_is_deterministic_per_phrase(self):
+        assert knows_phrase("wage", 0.5) == knows_phrase("wage", 0.5)
+
+    def test_coverage_monotone(self):
+        phrases = [p for p in build_thesaurus()][:40]
+        low = {p for p in phrases if knows_phrase(p, 0.3)}
+        high = {p for p in phrases if knows_phrase(p, 0.9)}
+        assert low <= high
+
+
+class TestDKFacts:
+    def test_fact_lookup(self):
+        fact = lookup_dk("teenagers", coverage=1.0)
+        assert fact is not None
+        assert fact.column_phrase == "age"
+        assert fact.op == "<"
+
+    def test_between_fact_unpacked(self):
+        fact = lookup_dk("nineties films", coverage=1.0)
+        assert fact is not None
+        assert fact.op == "between"
+        assert (fact.value, fact.value2) == (1990, 1999)
+
+    def test_zero_coverage_blocks(self):
+        assert lookup_dk("teenagers", coverage=0.0) is None
+
+    def test_unknown_phrase(self):
+        assert lookup_dk("nonsense phrase", coverage=1.0) is None
+
+    def test_every_domain_contributes(self):
+        table = build_dk_table()
+        assert len(table) >= 25  # all 15 domains carry facts

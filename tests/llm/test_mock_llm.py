@@ -1,0 +1,173 @@
+"""Behavioural tests for the simulated LLM."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    CHATGPT,
+    GPT4,
+    LLMRequest,
+    MockLLM,
+    build_prompt,
+    render_demo,
+    render_schema,
+)
+from repro.llm.profiles import LLMProfile, profile_by_name
+from repro.spider.domains import domain_by_name
+from repro.sqlkit import parse_sql
+from repro.sqlkit.errors import SQLError
+
+ORACLE = LLMProfile(
+    name="oracle", filter_miss=0, column_confusion=0, synonym_coverage=1,
+    dk_coverage=1, value_link_skill=1, prior_gold_affinity=0.5,
+    demo_follow=1.0, distinct_prior=0.3, hallucination_rate=0, sample_noise=0,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return domain_by_name("soccer").instantiate(0, seed=3)
+
+
+def ask(llm, db, question, demos=(), n=1, instructions=""):
+    prompt = build_prompt(
+        render_schema(db), question, demos=list(demos), instructions=instructions
+    )
+    return llm.complete(LLMRequest(prompt=prompt, n=n))
+
+
+class TestBasicBehaviour:
+    def test_returns_sql_text(self, db):
+        resp = ask(MockLLM(ORACLE), db, "How many players are there?")
+        assert resp.text == "SELECT COUNT(*) FROM player"
+
+    def test_deterministic_for_same_prompt(self, db):
+        llm = MockLLM(CHATGPT, seed=5)
+        a = ask(llm, db, "What are the name of players?")
+        b = ask(llm, db, "What are the name of players?")
+        assert a.texts == b.texts
+
+    def test_different_seeds_can_differ(self, db):
+        q = "Which teams do not have any players? Show their city?"
+        outputs = {
+            ask(MockLLM(CHATGPT, seed=s), db, q).text for s in range(8)
+        }
+        assert len(outputs) > 1
+
+    def test_n_samples_returned(self, db):
+        resp = ask(MockLLM(CHATGPT), db, "How many teams are there?", n=7)
+        assert len(resp.texts) == 7
+
+    def test_token_accounting(self, db):
+        resp = ask(MockLLM(ORACLE), db, "How many players are there?", n=3)
+        assert resp.prompt_tokens > 50
+        assert resp.output_tokens > 0
+
+    def test_garbage_prompt_safe(self):
+        resp = MockLLM(ORACLE).complete(LLMRequest(prompt="hello"))
+        assert resp.text
+
+    def test_most_outputs_parse(self, db):
+        llm = MockLLM(CHATGPT, seed=0)
+        questions = [
+            "How many players are there?",
+            "What are the name of players whose age is greater than 20?",
+            "Which team has the most players? Show its team name?",
+            "Which teams do not have any players? Show their team name?",
+        ]
+        ok = 0
+        for q in questions:
+            try:
+                parse_sql(ask(llm, db, q).text)
+                ok += 1
+            except SQLError:
+                pass
+        assert ok >= 3
+
+
+class TestInContextLearning:
+    """The core mechanism: skeleton-matched demonstrations steer the
+    operator composition."""
+
+    def _demo(self, db, sql):
+        return render_demo(render_schema(db), "demo question?", sql)
+
+    def _steer_rate(self, db, question, demo, marker, seeds=12):
+        hits = 0
+        for seed in range(seeds):
+            out = ask(MockLLM(ORACLE, seed=seed), db, question, demos=[demo]).text
+            hits += marker in out
+        return hits / seeds
+
+    def test_except_demo_steers_exclusion(self, db):
+        question = "Which teams do not have any players? Show their city?"
+        except_demo = self._demo(
+            db,
+            "SELECT city FROM team EXCEPT SELECT T1.city FROM team AS T1 "
+            "JOIN player AS T2 ON T1.id = T2.team_id",
+        )
+        assert self._steer_rate(db, question, except_demo, "EXCEPT") >= 0.7
+
+    def test_not_in_demo_steers_exclusion(self, db):
+        question = "Which teams do not have any players? Show their city?"
+        not_in_demo = self._demo(
+            db,
+            "SELECT city FROM team WHERE id NOT IN (SELECT team_id FROM player)",
+        )
+        assert self._steer_rate(db, question, not_in_demo, "NOT IN") >= 0.7
+
+    def test_max_subquery_demo_steers_superlative(self, db):
+        question = "What is the name of the player with the highest goal count?"
+        demo = self._demo(
+            db, "SELECT name FROM player WHERE goals = (SELECT MAX(goals) FROM player)"
+        )
+        assert self._steer_rate(db, question, demo, "MAX(") >= 0.7
+
+    def test_earlier_demo_outweighs_later(self, db):
+        question = "Which teams do not have any players? Show their city?"
+        except_demo = self._demo(
+            db,
+            "SELECT city FROM team EXCEPT SELECT T1.city FROM team AS T1 "
+            "JOIN player AS T2 ON T1.id = T2.team_id",
+        )
+        not_in_demo = self._demo(
+            db,
+            "SELECT city FROM team WHERE id NOT IN (SELECT team_id FROM player)",
+        )
+        hits = 0
+        for seed in range(12):
+            out = ask(
+                MockLLM(ORACLE, seed=seed), db, question,
+                demos=[except_demo, not_in_demo],
+            ).text
+            hits += "EXCEPT" in out
+        # With conflicting demonstrations, the earlier (higher-priority)
+        # one must at least neutralize the model's NOT-IN-leaning prior.
+        assert hits >= 4
+
+
+class TestInstructions:
+    def test_cot_instruction_parsed(self, db):
+        from repro.llm.mock_llm import _instruction_effects
+
+        effects = _instruction_effects("Let's think step by step.")
+        assert effects.get("cot") is True
+
+    def test_column_discipline_reduces_hallucination_scale(self):
+        from repro.llm.mock_llm import _instruction_effects
+
+        effects = _instruction_effects("Use only the provided columns.")
+        assert effects["hallucination_scale"] < 1.0
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert profile_by_name("chatgpt") is CHATGPT
+        assert profile_by_name("GPT4") is GPT4
+        with pytest.raises(KeyError):
+            profile_by_name("claude")
+
+    def test_gpt4_stronger_understanding(self):
+        assert GPT4.column_confusion < CHATGPT.column_confusion
+        assert GPT4.hallucination_rate < CHATGPT.hallucination_rate
+        assert GPT4.synonym_coverage > CHATGPT.synonym_coverage

@@ -1,0 +1,40 @@
+"""Tests for the approximate tokenizer."""
+
+from repro.llm.tokenizer import count_tokens, truncate_to_tokens
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_words_count_one_each(self):
+        assert count_tokens("select name from singer") == 4
+
+    def test_punctuation_counts(self):
+        assert count_tokens("a, b") == 3
+
+    def test_long_words_split(self):
+        assert count_tokens("internationalization") > 1
+
+    def test_monotonic_in_length(self):
+        short = "SELECT name FROM t"
+        long = short + " WHERE age > 30 ORDER BY name"
+        assert count_tokens(long) > count_tokens(short)
+
+    def test_sql_scale_sanity(self):
+        # A ~60-char SQL statement should be in the 10-25 token range,
+        # roughly matching OpenAI tokenizers on SQL.
+        sql = "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.id = T2.x"
+        assert 10 <= count_tokens(sql) <= 30
+
+
+class TestTruncate:
+    def test_within_budget_unchanged(self):
+        text = "one two three"
+        assert truncate_to_tokens(text, 100) == text
+
+    def test_truncates_to_budget(self):
+        text = " ".join(["word"] * 50)
+        out = truncate_to_tokens(text, 10)
+        assert count_tokens(out) <= 10
+        assert out.startswith("word")

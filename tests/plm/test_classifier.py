@@ -1,0 +1,85 @@
+"""Tests for the schema-item relevance classifier."""
+
+import numpy as np
+import pytest
+
+from repro.plm import train_schema_classifier
+from repro.plm.classifier import SchemaItemClassifier, build_training_matrix
+from repro.plm.labels import used_schema_items
+
+
+@pytest.fixture(scope="module")
+def classifier(request):
+    train = request.getfixturevalue("train_set")
+    return train_schema_classifier(train, epochs=200)
+
+
+class TestTrainingMatrix:
+    def test_matrix_shapes(self, train_set):
+        small = train_set.subset(10)
+        X, y = build_training_matrix(small)
+        assert X.shape[0] == y.shape[0]
+        assert X.shape[1] == 12
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_positives_are_minority(self, train_set):
+        X, y = build_training_matrix(train_set.subset(30))
+        assert 0 < y.mean() < 0.5
+
+
+class TestFocalLossFit:
+    def test_fit_separable_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 1] > 0).astype(float)
+        clf = SchemaItemClassifier(weights=np.zeros(3))
+        clf.fit(X, y, epochs=400, lr=1.0)
+        preds = clf.predict_proba(X) > 0.5
+        assert (preds == y.astype(bool)).mean() > 0.95
+
+    def test_fit_handles_imbalance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 3))
+        y = ((X[:, 0] > 1.2)).astype(float)  # ~12% positives
+        clf = SchemaItemClassifier(weights=np.zeros(3))
+        clf.fit(X, y, epochs=400, lr=1.0)
+        positives = clf.predict_proba(X[y == 1])
+        assert positives.mean() > 0.4
+
+
+class TestTrainedClassifier:
+    def test_scores_are_probabilities(self, classifier, dev_set):
+        ex = dev_set.examples[0]
+        db = dev_set.database(ex.db_id)
+        tprobs, cprobs = classifier.score_schema(ex.question, db.schema, db)
+        assert all(0.0 <= p <= 1.0 for p in tprobs.values())
+        assert all(0.0 <= p <= 1.0 for p in cprobs.values())
+
+    def test_high_recall_on_dev(self, classifier, dev_set):
+        """§IV-A: pruning must keep recall high to avoid error propagation."""
+        hits = total = 0
+        for ex in dev_set.examples[:40]:
+            db = dev_set.database(ex.db_id)
+            tprobs, _ = classifier.score_schema(ex.question, db.schema, db)
+            used_tables, _ = used_schema_items(ex.sql, db.schema)
+            kept = {t for t, p in tprobs.items() if p > 0.5}
+            hits += len(kept & used_tables)
+            total += len(used_tables)
+        assert hits / total > 0.85
+
+    def test_relevant_column_outscores_distractor(self, classifier, dev_set):
+        scored = 0
+        better = 0
+        for ex in dev_set.examples[:40]:
+            db = dev_set.database(ex.db_id)
+            _, cprobs = classifier.score_schema(ex.question, db.schema, db)
+            _, used_columns = used_schema_items(ex.sql, db.schema)
+            if not used_columns:
+                continue
+            used_mean = np.mean([cprobs[c] for c in used_columns if c in cprobs])
+            unused = [p for c, p in cprobs.items() if c not in used_columns]
+            if unused:
+                scored += 1
+                if used_mean > np.mean(unused):
+                    better += 1
+        assert better / scored > 0.9

@@ -1,0 +1,74 @@
+"""Tests for gold-SQL schema-item label extraction."""
+
+import pytest
+
+from repro.plm import used_schema_items
+from repro.schema import Column, ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        db_id="tv",
+        tables=[
+            Table(
+                name="tv_channel",
+                primary_key="id",
+                columns=[Column("id", "integer"), Column("country"), Column("name")],
+            ),
+            Table(
+                name="cartoon",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("title"),
+                    Column("channel", "integer"),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("cartoon", "channel", "tv_channel", "id")],
+    )
+
+
+class TestUsedItems:
+    def test_single_table(self, schema):
+        tables, columns = used_schema_items(
+            "SELECT name FROM tv_channel WHERE country = 'USA'", schema
+        )
+        assert tables == {"tv_channel"}
+        assert columns == {("tv_channel", "name"), ("tv_channel", "country")}
+
+    def test_alias_resolution(self, schema):
+        tables, columns = used_schema_items(
+            "SELECT T1.title FROM cartoon AS T1 JOIN tv_channel AS T2 "
+            "ON T1.channel = T2.id",
+            schema,
+        )
+        assert tables == {"cartoon", "tv_channel"}
+        assert ("cartoon", "title") in columns
+        assert ("cartoon", "channel") in columns
+        assert ("tv_channel", "id") in columns
+
+    def test_subquery_scope(self, schema):
+        tables, columns = used_schema_items(
+            "SELECT country FROM tv_channel WHERE id NOT IN "
+            "(SELECT channel FROM cartoon)",
+            schema,
+        )
+        assert tables == {"tv_channel", "cartoon"}
+        assert ("cartoon", "channel") in columns
+        assert ("tv_channel", "country") in columns
+
+    def test_compound_query(self, schema):
+        tables, _ = used_schema_items(
+            "SELECT country FROM tv_channel EXCEPT SELECT title FROM cartoon",
+            schema,
+        )
+        assert tables == {"tv_channel", "cartoon"}
+
+    def test_unparseable_sql_is_empty(self, schema):
+        assert used_schema_items("garbage", schema) == (set(), set())
+
+    def test_unknown_tables_ignored(self, schema):
+        tables, columns = used_schema_items("SELECT x FROM mystery", schema)
+        assert tables == set()

@@ -1,0 +1,68 @@
+"""Tests for the skeleton predictor and its constrained beam search."""
+
+import pytest
+
+from repro.plm import train_skeleton_predictor
+from repro.sqlkit.skeleton import extract_skeleton, skeleton_tokens
+
+
+@pytest.fixture(scope="module")
+def predictor(request):
+    train = request.getfixturevalue("train_set")
+    return train_skeleton_predictor(train, epochs=150)
+
+
+class TestPrediction:
+    def test_returns_k_results_with_probabilities(self, predictor, dev_set):
+        preds = predictor.predict(dev_set.examples[0].question, k=3)
+        assert 1 <= len(preds) <= 3
+        for text, prob in preds:
+            assert isinstance(text, str) and text
+            assert 0.0 < prob <= 1.0
+
+    def test_results_sorted_by_probability(self, predictor, dev_set):
+        preds = predictor.predict(dev_set.examples[0].question, k=3)
+        probs = [p for _, p in preds]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_results_unique(self, predictor, dev_set):
+        preds = predictor.predict(dev_set.examples[0].question, k=3)
+        texts = [t for t, _ in preds]
+        assert len(texts) == len(set(texts))
+
+    def test_predictions_are_known_training_skeletons(self, predictor, train_set, dev_set):
+        """Constrained decoding only emits corpus skeletons."""
+        known = {extract_skeleton(ex.sql) for ex in train_set}
+        for ex in dev_set.examples[:10]:
+            for text, _ in predictor.predict(ex.question, k=3):
+                assert text in known
+
+    def test_count_question_predicts_count_skeleton(self, predictor):
+        preds = predictor.predict("How many singers are there?", k=3)
+        assert any("COUNT" in text for text, _ in preds)
+
+    def test_deterministic(self, predictor, dev_set):
+        q = dev_set.examples[0].question
+        assert predictor.predict(q, k=3) == predictor.predict(q, k=3)
+
+    def test_top3_recall_reasonable(self, predictor, dev_set):
+        """Even the compact fixture corpus should recall a fair share of
+        gold skeletons in the top-3 (the full corpus does much better)."""
+        hits = 0
+        for ex in dev_set.examples:
+            gold = extract_skeleton(ex.sql)
+            texts = [t for t, _ in predictor.predict(ex.question, k=3)]
+            hits += gold in texts
+        assert hits / len(dev_set.examples) > 0.25
+
+
+class TestTraining:
+    def test_vocab_covers_training_tokens(self, predictor, train_set):
+        for ex in train_set.examples[:20]:
+            for token in skeleton_tokens(ex.sql):
+                assert token in predictor.vocab
+
+    def test_trie_prefixes_complete(self, predictor, train_set):
+        tokens = skeleton_tokens(train_set.examples[0].sql)
+        for i in range(len(tokens)):
+            assert tokens[i] in predictor.trie[tuple(tokens[:i])]

@@ -1,0 +1,137 @@
+"""Unit tests for the schema/database model."""
+
+import pytest
+
+from repro.schema import Column, Database, ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def tv_schema():
+    return Schema(
+        db_id="tvshow",
+        tables=[
+            Table(
+                name="tv_channel",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("series_name", "text"),
+                    Column("country", "text"),
+                    Column("language", "text"),
+                ],
+            ),
+            Table(
+                name="cartoon",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("title", "text"),
+                    Column("written_by", "text"),
+                    Column("channel", "integer"),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("cartoon", "channel", "tv_channel", "id")],
+    )
+
+
+class TestSchemaLookup:
+    def test_table_lookup_case_insensitive(self, tv_schema):
+        assert tv_schema.table("TV_Channel").name == "tv_channel"
+
+    def test_missing_table_raises(self, tv_schema):
+        with pytest.raises(KeyError):
+            tv_schema.table("nonexistent")
+
+    def test_column_lookup(self, tv_schema):
+        col = tv_schema.table("cartoon").column("Written_By")
+        assert col.name == "written_by"
+
+    def test_missing_column_raises(self, tv_schema):
+        with pytest.raises(KeyError):
+            tv_schema.table("cartoon").column("nope")
+
+    def test_tables_with_column(self, tv_schema):
+        tables = tv_schema.tables_with_column("id")
+        assert {t.name for t in tables} == {"tv_channel", "cartoon"}
+
+    def test_foreign_keys_of(self, tv_schema):
+        assert len(tv_schema.foreign_keys_of("cartoon")) == 1
+        assert len(tv_schema.foreign_keys_of("tv_channel")) == 1
+
+
+class TestNaturalNames:
+    def test_column_natural_name_defaults_from_identifier(self):
+        assert Column("written_by").natural_name == "written by"
+
+    def test_explicit_natural_name_kept(self):
+        assert Column("dob", natural_name="date of birth").natural_name == (
+            "date of birth"
+        )
+
+
+class TestSubset:
+    def test_subset_keeps_requested_columns(self, tv_schema):
+        pruned = tv_schema.subset({"cartoon": ["title"]})
+        assert pruned.table_names() == ["cartoon"]
+        names = pruned.table("cartoon").column_names()
+        assert "title" in names
+
+    def test_subset_always_keeps_primary_key(self, tv_schema):
+        pruned = tv_schema.subset({"cartoon": ["title"]})
+        assert "id" in pruned.table("cartoon").column_names()
+
+    def test_subset_drops_dangling_foreign_keys(self, tv_schema):
+        pruned = tv_schema.subset({"cartoon": ["title"]})
+        assert pruned.foreign_keys == []
+
+    def test_subset_keeps_connecting_foreign_keys(self, tv_schema):
+        pruned = tv_schema.subset(
+            {"cartoon": ["channel"], "tv_channel": ["country"]}
+        )
+        assert len(pruned.foreign_keys) == 1
+
+    def test_size(self, tv_schema):
+        assert tv_schema.size() == (2, 8)
+
+
+class TestSerialization:
+    def test_schema_round_trip(self, tv_schema):
+        again = Schema.from_dict(tv_schema.to_dict())
+        assert again.to_dict() == tv_schema.to_dict()
+
+    def test_database_round_trip(self, tv_schema):
+        db = Database(
+            schema=tv_schema,
+            rows={"tv_channel": [(1, "Sky", "USA", "English")], "cartoon": []},
+        )
+        again = Database.from_dict(db.to_dict())
+        assert again.table_rows("tv_channel") == [(1, "Sky", "USA", "English")]
+
+
+class TestColumnValues:
+    def test_representative_values_dedup_and_limit(self, tv_schema):
+        db = Database(
+            schema=tv_schema,
+            rows={
+                "tv_channel": [
+                    (1, "A", "USA", "en"),
+                    (2, "B", "USA", "en"),
+                    (3, "C", "UK", "en"),
+                    (4, "D", "France", "fr"),
+                    (5, "E", "Japan", "ja"),
+                ]
+            },
+        )
+        assert db.column_values("tv_channel", "country", limit=3) == [
+            "USA",
+            "UK",
+            "France",
+        ]
+
+    def test_none_values_skipped(self, tv_schema):
+        db = Database(
+            schema=tv_schema,
+            rows={"tv_channel": [(1, None, "USA", "en"), (2, "B", None, "en")]},
+        )
+        assert db.column_values("tv_channel", "series_name") == ["B"]

@@ -1,0 +1,109 @@
+"""Tests for blueprint materialization."""
+
+import pytest
+
+from repro.spider.blueprint import ColumnBlueprint, DomainBlueprint
+from repro.spider.domains import all_domains, domain_by_name, train_domains, dev_domains
+
+
+class TestColumnBlueprint:
+    def test_role_validation(self):
+        with pytest.raises(ValueError):
+            ColumnBlueprint("x", role="bogus")
+
+    def test_type_defaults_by_role(self):
+        assert ColumnBlueprint("id", role="pk").col_type == "integer"
+        assert ColumnBlueprint("name", role="name").col_type == "text"
+        assert ColumnBlueprint("w", role="numeric", is_int=False).col_type == "real"
+
+    def test_natural_name_default(self):
+        assert ColumnBlueprint("net_worth", role="numeric").natural == "net worth"
+
+    def test_queryable_roles(self):
+        assert ColumnBlueprint("age", role="numeric").queryable
+        assert not ColumnBlueprint("note", role="text").queryable
+        assert not ColumnBlueprint("id", role="pk").queryable
+
+
+class TestDomains:
+    def test_fifteen_domains(self):
+        assert len(all_domains()) == 15
+        assert len(train_domains()) == 11
+        assert len(dev_domains()) == 4
+
+    def test_train_dev_disjoint(self):
+        train_names = {d.name for d in train_domains()}
+        dev_names = {d.name for d in dev_domains()}
+        assert not train_names & dev_names
+
+    def test_domain_by_name(self):
+        assert domain_by_name("soccer").name == "soccer"
+        with pytest.raises(KeyError):
+            domain_by_name("nope")
+
+    @pytest.mark.parametrize("blueprint", all_domains(), ids=lambda b: b.name)
+    def test_fks_reference_real_tables_and_columns(self, blueprint):
+        for src_t, src_c, dst_t, dst_c in blueprint.fks:
+            blueprint.table(src_t).column(src_c)
+            blueprint.table(dst_t).column(dst_c)
+
+    @pytest.mark.parametrize("blueprint", all_domains(), ids=lambda b: b.name)
+    def test_every_domain_has_dk_facts_over_real_columns(self, blueprint):
+        assert blueprint.dk_facts
+        for fact in blueprint.dk_facts:
+            blueprint.table(fact.table).column(fact.column)
+
+    @pytest.mark.parametrize("blueprint", all_domains(), ids=lambda b: b.name)
+    def test_every_table_has_display_column(self, blueprint):
+        from repro.spider.archetypes import DomainContext
+
+        db = blueprint.instantiate(0, seed=1)
+        ctx = DomainContext(db=db, blueprint=blueprint)
+        for tbl in blueprint.tables:
+            assert ctx.display_column(tbl.name) is not None, tbl.name
+
+
+class TestMaterialization:
+    def test_deterministic(self):
+        bp = domain_by_name("soccer")
+        a = bp.instantiate(0, seed=42)
+        b = bp.instantiate(0, seed=42)
+        assert a.to_dict() == b.to_dict()
+
+    def test_variants_differ_in_content_not_structure(self):
+        bp = domain_by_name("soccer")
+        a = bp.instantiate(0, seed=42)
+        b = bp.instantiate(1, seed=42)
+        assert a.db_id == "soccer" and b.db_id == "soccer_1"
+        assert [t.name for t in a.schema.tables] == [t.name for t in b.schema.tables]
+        assert a.rows != b.rows
+
+    def test_fk_values_reference_parent_pks(self):
+        bp = domain_by_name("soccer")
+        db = bp.instantiate(0, seed=3)
+        team_ids = {row[0] for row in db.table_rows("team")}
+        fk_idx = [c.key for c in db.schema.table("player").columns].index("team_id")
+        for row in db.table_rows("player"):
+            assert row[fk_idx] in team_ids
+
+    def test_some_parents_childless(self):
+        bp = domain_by_name("soccer")
+        db = bp.instantiate(0, seed=3)
+        team_ids = {row[0] for row in db.table_rows("team")}
+        fk_idx = [c.key for c in db.schema.table("player").columns].index("team_id")
+        used = {row[fk_idx] for row in db.table_rows("player")}
+        assert team_ids - used, "exclusion queries need childless parents"
+
+    def test_category_columns_have_duplicates(self):
+        bp = domain_by_name("soccer")
+        db = bp.instantiate(0, seed=3)
+        idx = [c.key for c in db.schema.table("player").columns].index("position")
+        values = [row[idx] for row in db.table_rows("player")]
+        assert len(set(values)) < len(values)
+
+    def test_row_counts_within_range(self):
+        bp = domain_by_name("soccer")
+        db = bp.instantiate(0, seed=3)
+        for tbl_bp in bp.tables:
+            n = len(db.table_rows(tbl_bp.name))
+            assert tbl_bp.rows[0] <= n <= tbl_bp.rows[1]

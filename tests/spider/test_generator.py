@@ -1,0 +1,158 @@
+"""Tests for the workload generator and dataset containers."""
+
+import pytest
+
+from repro.schema import SQLiteExecutor
+from repro.spider import (
+    Dataset,
+    GeneratorConfig,
+    generate_benchmark,
+    benchmark_statistics,
+    make_variant,
+)
+from repro.spider.archetypes import REGISTRY
+from repro.sqlkit import classify_hardness, parse_sql
+
+
+class TestGeneration:
+    def test_split_sizes(self, small_benchmark):
+        assert len(small_benchmark.train.databases) == 11
+        assert len(small_benchmark.dev.databases) == 4
+        assert len(small_benchmark.train) == 11 * 12
+        assert len(small_benchmark.dev) == 4 * 12
+
+    def test_cross_domain_split(self, small_benchmark):
+        train_domains = {ex.db_id.rsplit("_", 1)[0] for ex in small_benchmark.train}
+        dev_domains = {ex.db_id for ex in small_benchmark.dev}
+        assert not train_domains & dev_domains
+
+    def test_deterministic(self):
+        cfg = GeneratorConfig(
+            seed=3, train_variants=1, dev_variants=1,
+            train_examples_per_db=5, dev_examples_per_db=5,
+        )
+        a = generate_benchmark(cfg)
+        b = generate_benchmark(cfg)
+        assert [e.to_dict() for e in a.dev] == [e.to_dict() for e in b.dev]
+
+    def test_all_gold_sql_parses(self, dev_set):
+        for ex in dev_set:
+            parse_sql(ex.sql)
+
+    def test_all_gold_sql_executes(self, dev_set):
+        with SQLiteExecutor() as executor:
+            for db_id, db in dev_set.databases.items():
+                executor.register(db)
+            for ex in dev_set:
+                result = executor.execute(ex.db_id, ex.sql)
+                assert result.ok, (ex.sql, result.error)
+
+    def test_hardness_labels_match_classifier(self, dev_set):
+        for ex in dev_set:
+            assert ex.hardness == classify_hardness(ex.sql).value
+
+    def test_no_duplicate_sql_within_db(self, dev_set):
+        seen = set()
+        for ex in dev_set:
+            key = (ex.db_id, ex.sql)
+            assert key not in seen
+            seen.add(key)
+
+    def test_hardness_spread(self, train_set):
+        levels = {ex.hardness for ex in train_set}
+        assert {"easy", "medium", "hard", "extra"} <= levels
+
+    def test_archetype_coverage(self, train_set):
+        kinds = {ex.intent.kind for ex in train_set}
+        # The compact fixture corpus must still cover most archetypes.
+        assert len(kinds) >= 13
+
+    def test_realization_diversity(self, train_set):
+        from collections import defaultdict
+
+        by_kind = defaultdict(set)
+        for ex in train_set:
+            by_kind[ex.intent.kind].add(ex.intent.realization)
+        multi = [k for k, r in by_kind.items() if len(r) > 1]
+        # Multiple realizations must genuinely occur in the corpus.
+        assert len(multi) >= 3
+
+    def test_gold_realization_recorded(self, dev_set):
+        for ex in dev_set:
+            arch = REGISTRY[ex.intent.kind]
+            assert ex.intent.realization in arch.realizations
+
+
+class TestQuestionStyles:
+    def test_all_styles_rendered(self, dev_set):
+        for ex in dev_set:
+            assert ex.question
+            assert ex.question_syn
+            assert ex.question_realistic
+
+    def test_dk_only_when_applicable(self, dev_set):
+        for ex in dev_set:
+            assert bool(ex.question_dk) == ex.dk_applicable
+
+    def test_some_syn_questions_differ(self, dev_set):
+        differing = sum(
+            1 for ex in dev_set if ex.question_syn != ex.question
+        )
+        assert differing > 0
+
+    def test_dk_question_hides_raw_value(self, dev_set):
+        for ex in dev_set:
+            if not ex.dk_applicable:
+                continue
+            dk_filters = [f for f in ex.intent.all_filters() if f.dk_phrase]
+            for f in dk_filters:
+                assert f.dk_phrase in ex.question_dk
+
+
+class TestVariants:
+    def test_syn_variant_same_size(self, dev_set):
+        assert len(make_variant(dev_set, "syn")) == len(dev_set)
+
+    def test_dk_variant_smaller(self, dev_set):
+        dk = make_variant(dev_set, "dk")
+        assert 0 < len(dk) < len(dev_set)
+        assert all(ex.dk_applicable for ex in dk)
+
+    def test_variant_questions_relabelled(self, dev_set):
+        real = make_variant(dev_set, "realistic")
+        by_base = {ex.ex_id.rsplit("-", 1)[0]: ex for ex in real}
+        for ex in dev_set:
+            assert by_base[ex.ex_id].question == ex.question_realistic
+
+    def test_unknown_style_raises(self, dev_set):
+        with pytest.raises(ValueError):
+            make_variant(dev_set, "bogus")
+
+
+class TestDatasetContainer:
+    def test_round_trip(self, dev_set, tmp_path):
+        path = tmp_path / "dev.json"
+        dev_set.save(path)
+        again = Dataset.load(path)
+        assert len(again) == len(dev_set)
+        assert again.examples[0].to_dict() == dev_set.examples[0].to_dict()
+        assert again.db_ids() == dev_set.db_ids()
+
+    def test_subset(self, dev_set):
+        sub = dev_set.subset(5)
+        assert len(sub) == 5
+        assert set(sub.databases) == {ex.db_id for ex in sub}
+
+    def test_by_hardness_partition(self, dev_set):
+        buckets = dev_set.by_hardness()
+        assert sum(len(v) for v in buckets.values()) == len(dev_set)
+
+
+class TestStatistics:
+    def test_statistics_row(self, dev_set):
+        stats = benchmark_statistics(dev_set)
+        name, queries, dbs, qlen, slen = stats.row()
+        assert queries == len(dev_set)
+        assert dbs == 4
+        assert qlen > 20
+        assert slen > 20

@@ -1,0 +1,63 @@
+"""Tests for the IntentSpec/FilterSpec containers."""
+
+import pytest
+
+from repro.spider.intents import FilterSpec, IntentSpec
+
+
+class TestFilterSpec:
+    def test_round_trip(self):
+        f = FilterSpec(table="t", column="c", op="between", value=1, value2=9)
+        assert FilterSpec.from_dict(f.to_dict()) == f
+
+    def test_signature_ignores_dk_phrase(self):
+        a = FilterSpec(table="t", column="c", op="=", value="x")
+        b = FilterSpec(table="t", column="c", op="=", value="x", dk_phrase="foo")
+        assert a.signature() == b.signature()
+
+
+class TestIntentSpec:
+    def make(self):
+        return IntentSpec(
+            kind="exclusion",
+            table="parent",
+            projections=[["col", "parent", "name"]],
+            filters=[FilterSpec(table="child", column="age", op=">", value=30)],
+            fk=["child", "parent_id", "parent", "id"],
+            realization="except",
+            nl_variant="except",
+        )
+
+    def test_round_trip(self):
+        intent = self.make()
+        again = IntentSpec.from_dict(intent.to_dict())
+        assert again.to_dict() == intent.to_dict()
+
+    def test_parent_child_properties(self):
+        intent = self.make()
+        assert intent.parent_table == "parent"
+        assert intent.child_table == "child"
+
+    def test_no_fk_properties_none(self):
+        intent = IntentSpec(kind="list", table="t")
+        assert intent.parent_table is None
+        assert intent.child_table is None
+
+    def test_tables_involved(self):
+        intent = self.make()
+        assert intent.tables_involved() == {"parent", "child"}
+
+    def test_all_filters_combines_branches(self):
+        intent = self.make()
+        intent.second_filters = [
+            FilterSpec(table="child", column="age", op="<", value=10)
+        ]
+        assert len(intent.all_filters()) == 2
+
+    def test_agg_projection_tables(self):
+        intent = IntentSpec(
+            kind="count",
+            table="t",
+            projections=[["agg", "COUNT", "t", "*"]],
+        )
+        assert intent.tables_involved() == {"t"}

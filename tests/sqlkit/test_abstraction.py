@@ -1,0 +1,80 @@
+"""Tests for the four-level abstraction transforms (Figure 6/7)."""
+
+import pytest
+
+from repro.sqlkit.abstraction import abstract_sql, abstract_tokens, abstraction_levels
+from repro.sqlkit.skeleton import skeleton_tokens
+
+GOLD = (
+    "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country FROM "
+    "TV_CHANNEL AS T1 JOIN CARTOON AS T2 ON T1.id = T2.Channel "
+    "WHERE T2.Written_by = 'Todd Casey'"
+)
+
+
+class TestFigureSixExample:
+    """The paper's running example, abstracted level by level."""
+
+    def test_detail_level(self):
+        assert abstract_sql(GOLD, 1) == tuple(
+            "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ "
+            "WHERE _ = _".split(" ")
+        )
+
+    def test_keywords_level_drops_placeholders(self):
+        level2 = abstract_sql(GOLD, 2)
+        assert "_" not in level2
+        assert level2 == tuple(
+            "SELECT FROM EXCEPT SELECT FROM JOIN ON = WHERE =".split(" ")
+        )
+
+    def test_structure_level_generalizes(self):
+        level3 = abstract_sql(GOLD, 3)
+        assert level3 == tuple(
+            "SELECT FROM <IUE> SELECT FROM JOIN ON <CMP> WHERE <CMP>".split(" ")
+        )
+
+    def test_clause_level_keeps_main_clauses(self):
+        assert abstract_sql(GOLD, 4) == tuple(
+            "SELECT FROM <IUE> SELECT FROM WHERE".split(" ")
+        )
+
+
+class TestOrderSensitivity:
+    def test_reversed_compound_differs_at_every_level(self):
+        """DAIL's Jaccard cannot tell these apart; the automaton must."""
+        a = "SELECT x FROM t EXCEPT SELECT y FROM u WHERE z = 1"
+        b = "SELECT y FROM u WHERE z = 1 EXCEPT SELECT x FROM t"
+        for level in (1, 2, 3, 4):
+            assert abstract_sql(a, level) != abstract_sql(b, level)
+
+
+class TestMappingRules:
+    @pytest.mark.parametrize(
+        "sql,token",
+        [
+            ("SELECT a FROM t WHERE b >= 1", "<CMP>"),
+            ("SELECT a FROM t WHERE b BETWEEN 1 AND 2", "<CMP>"),
+            ("SELECT a FROM t WHERE b NOT LIKE 'x'", "<CMP>"),
+            ("SELECT a FROM t UNION SELECT a FROM u", "<IUE>"),
+            ("SELECT MAX(a) FROM t", "<AGG>"),
+            ("SELECT a + b FROM t", "<OP>"),
+        ],
+    )
+    def test_figure7_classes(self, sql, token):
+        assert token in abstract_sql(sql, 3)
+
+    def test_parens_kept_at_structure_level(self):
+        level3 = abstract_sql(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)", 3
+        )
+        assert "(" in level3 and ")" in level3
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            abstract_tokens(["SELECT"], 5)
+
+    def test_abstraction_levels_helper(self):
+        levels = abstraction_levels(skeleton_tokens("SELECT a FROM t"))
+        assert set(levels) == {1, 2, 3, 4}
+        assert levels[1] == ("SELECT", "_", "FROM", "_")

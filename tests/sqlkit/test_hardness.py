@@ -1,0 +1,84 @@
+"""Tests for the Spider hardness classifier."""
+
+import pytest
+
+from repro.sqlkit import Hardness, classify_hardness
+
+
+class TestEasy:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name FROM singer",
+            "SELECT COUNT(*) FROM t",
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t ORDER BY a",
+        ],
+    )
+    def test_easy(self, sql):
+        assert classify_hardness(sql) is Hardness.EASY
+
+
+class TestMedium:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, b FROM t WHERE c = 1",
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.b = 1",
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT a FROM t ORDER BY b DESC LIMIT 3",
+        ],
+    )
+    def test_medium(self, sql):
+        assert classify_hardness(sql) is Hardness.MEDIUM
+
+
+class TestHard:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t WHERE b NOT IN (SELECT b FROM u)",
+            "SELECT a, b FROM t WHERE c = 1 OR d = 2 GROUP BY a",
+            "SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.x "
+            "WHERE t.b = 1 GROUP BY a",
+        ],
+    )
+    def test_hard(self, sql):
+        assert classify_hardness(sql) is Hardness.HARD
+
+
+class TestExtra:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # The running example from Figure 1b.
+            "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country "
+            "FROM TV_CHANNEL AS T1 JOIN CARTOON AS T2 ON T1.id = T2.Channel "
+            "WHERE T2.Written_by = 'Todd Casey'",
+            "SELECT a FROM t JOIN u ON t.x = u.x "
+            "WHERE t.b > (SELECT AVG(b) FROM t) ORDER BY a LIMIT 1",
+            "SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.x WHERE t.b = 1 "
+            "GROUP BY a HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 5",
+        ],
+    )
+    def test_extra(self, sql):
+        assert classify_hardness(sql) is Hardness.EXTRA
+
+
+class TestMonotonicity:
+    def test_adding_clauses_never_reduces_hardness(self):
+        order = ["easy", "medium", "hard", "extra"]
+        seq = [
+            "SELECT a FROM t",
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.b = 1",
+            "SELECT a FROM t JOIN u ON t.x = u.x WHERE t.b = 1 "
+            "GROUP BY a ORDER BY a LIMIT 1",
+        ]
+        levels = [order.index(classify_hardness(s).value) for s in seq]
+        assert levels == sorted(levels)
+
+    def test_accepts_parsed_query(self):
+        from repro.sqlkit import parse_sql
+
+        q = parse_sql("SELECT a FROM t")
+        assert classify_hardness(q) is Hardness.EASY

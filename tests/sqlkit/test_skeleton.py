@@ -1,0 +1,110 @@
+"""Tests for SQL-skeleton extraction (paper §II-C)."""
+
+import pytest
+
+from repro.sqlkit import extract_skeleton, skeleton_tokens
+
+
+class TestPaperExamples:
+    def test_figure_1b_gold_skeleton(self):
+        sql = (
+            "SELECT Country FROM TV_CHANNEL EXCEPT SELECT T1.Country "
+            "FROM TV_CHANNEL AS T1 JOIN CARTOON AS T2 ON T1.id = T2.Channel "
+            "WHERE T2.Written_by = 'Todd Casey'"
+        )
+        assert extract_skeleton(sql) == (
+            "SELECT _ FROM _ EXCEPT SELECT _ FROM _ JOIN _ ON _ = _ WHERE _ = _"
+        )
+
+    def test_dail_sql_counterexample_differs(self):
+        """The paper's point: DAIL-SQL's Jaccard treats these as identical;
+        the skeleton (which is order-sensitive) must not."""
+        a = "SELECT x FROM t EXCEPT SELECT T1.x FROM t AS T1 JOIN u AS T2 ON T1.i = T2.i WHERE T2.v = 1"
+        b = "SELECT T1.x FROM t AS T1 JOIN u AS T2 ON T1.i = T2.i WHERE T2.v = 1 EXCEPT SELECT x FROM t"
+        assert extract_skeleton(a) != extract_skeleton(b)
+        assert sorted(skeleton_tokens(a)) == sorted(skeleton_tokens(b))
+
+
+class TestMasking:
+    def test_tables_columns_values_become_placeholders(self):
+        assert extract_skeleton("SELECT name FROM singer WHERE age > 30") == (
+            "SELECT _ FROM _ WHERE _ > _"
+        )
+
+    def test_qualified_column_is_single_placeholder(self):
+        assert extract_skeleton("SELECT T1.name FROM t AS T1") == "SELECT _ FROM _"
+
+    def test_aliased_table_is_single_placeholder(self):
+        assert extract_skeleton("SELECT a FROM singer AS T1") == "SELECT _ FROM _"
+
+    def test_string_values_masked(self):
+        assert extract_skeleton("SELECT a FROM t WHERE b = 'x y z'") == (
+            "SELECT _ FROM _ WHERE _ = _"
+        )
+
+    def test_projection_list_collapses(self):
+        assert extract_skeleton("SELECT a, b, c FROM t") == "SELECT _ FROM _"
+
+    def test_limit_number_masked(self):
+        assert extract_skeleton("SELECT a FROM t LIMIT 10") == (
+            "SELECT _ FROM _ LIMIT _"
+        )
+
+
+class TestKeywordsPreserved:
+    def test_aggregates_kept(self):
+        assert extract_skeleton("SELECT COUNT(*) FROM t") == "SELECT COUNT ( _ ) FROM _"
+
+    def test_distinct_kept(self):
+        skel = extract_skeleton("SELECT DISTINCT a FROM t")
+        assert skel == "SELECT DISTINCT _ FROM _"
+
+    def test_group_by_is_one_token(self):
+        toks = skeleton_tokens("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert "GROUP BY" in toks
+        assert "GROUP" not in toks
+
+    def test_order_by_direction_kept(self):
+        skel = extract_skeleton("SELECT a FROM t ORDER BY b DESC LIMIT 1")
+        assert skel == "SELECT _ FROM _ ORDER BY _ DESC LIMIT _"
+
+    def test_not_in_subquery_structure(self):
+        skel = extract_skeleton(
+            "SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)"
+        )
+        assert skel == "SELECT _ FROM _ WHERE _ NOT IN ( SELECT _ FROM _ )"
+
+    def test_between_keeps_and(self):
+        skel = extract_skeleton("SELECT a FROM t WHERE b BETWEEN 1 AND 5")
+        assert skel == "SELECT _ FROM _ WHERE _ BETWEEN _ AND _"
+
+    def test_arithmetic_star_kept_between_operands(self):
+        skel = extract_skeleton("SELECT a * b FROM t")
+        assert skel == "SELECT _ * _ FROM _"
+
+    def test_projection_star_masked(self):
+        assert extract_skeleton("SELECT * FROM t") == "SELECT _ FROM _"
+
+
+class TestStability:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("SELECT name FROM singer", "SELECT song FROM album"),
+            (
+                "SELECT a FROM t WHERE b = 1",
+                "SELECT xyz FROM other WHERE col = 'text'",
+            ),
+            (
+                "SELECT a, b FROM t ORDER BY c LIMIT 5",
+                "SELECT q, r, s FROM u ORDER BY v LIMIT 99",
+            ),
+        ],
+    )
+    def test_same_structure_same_skeleton(self, a, b):
+        assert extract_skeleton(a) == extract_skeleton(b)
+
+    def test_case_insensitive(self):
+        assert extract_skeleton("select A from B") == extract_skeleton(
+            "SELECT x FROM y"
+        )

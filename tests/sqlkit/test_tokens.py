@@ -1,0 +1,91 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlkit import SQLTokenizeError, Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        toks = tokenize("SELECT Country FROM TV_CHANNEL")
+        assert toks[1] == Token(TokenKind.IDENT, "Country", 7)
+        assert toks[3].value == "TV_CHANNEL"
+
+    def test_numbers_integer_and_float(self):
+        toks = tokenize("1 23 4.5 0.25")
+        assert all(t.kind is TokenKind.NUMBER for t in toks)
+        assert values("1 23 4.5 0.25") == ["1", "23", "4.5", "0.25"]
+
+    def test_qualified_name_splits_on_dot(self):
+        assert values("T1.country") == ["T1", ".", "country"]
+
+    def test_string_literal_single_quotes(self):
+        toks = tokenize("WHERE name = 'Todd Casey'")
+        assert toks[-1] == Token(TokenKind.STRING, "Todd Casey", 13)
+
+    def test_string_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].value == "it's"
+
+    def test_double_quoted_is_identifier(self):
+        toks = tokenize('"My Column"')
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].value == "My Column"
+
+    def test_backtick_and_bracket_identifiers(self):
+        assert tokenize("`tbl`")[0].kind is TokenKind.IDENT
+        assert tokenize("[tbl]")[0].value == "tbl"
+
+
+class TestOperators:
+    def test_multi_char_comparisons(self):
+        assert values("a <= b >= c != d") == ["a", "<=", "b", ">=", "c", "!=", "d"]
+
+    def test_angle_bracket_inequality_normalized(self):
+        assert values("a <> b") == ["a", "!=", "b"]
+
+    def test_arithmetic_operators(self):
+        assert values("a + b - c * d / e") == [
+            "a", "+", "b", "-", "c", "*", "d", "/", "e",
+        ]
+
+    def test_punctuation(self):
+        assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLTokenizeError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLTokenizeError):
+            tokenize("SELECT ¤")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLTokenizeError) as exc:
+            tokenize("ab @")
+        assert exc.value.position == 3
+
+
+class TestKeywordHelpers:
+    def test_is_keyword_matches(self):
+        tok = tokenize("SELECT")[0]
+        assert tok.is_keyword("SELECT")
+        assert tok.is_keyword("SELECT", "FROM")
+        assert not tok.is_keyword("FROM")
+
+    def test_ident_never_matches_keyword_check(self):
+        tok = tokenize("foo")[0]
+        assert not tok.is_keyword("FOO")

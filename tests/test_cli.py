@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("corpus")
+    code = main(
+        [
+            "generate",
+            "--output", str(out),
+            "--seed", "5",
+            "--train-variants", "1",
+            "--dev-variants", "1",
+            "--train-per-db", "8",
+            "--dev-per-db", "6",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_files_written(self, corpus_dir):
+        for name in ("train.json", "dev.json", "dev_syn.json",
+                     "dev_realistic.json", "dev_dk.json"):
+            assert (corpus_dir / name).exists(), name
+
+    def test_saved_datasets_load(self, corpus_dir):
+        from repro.spider import Dataset
+
+        train = Dataset.load(corpus_dir / "train.json")
+        assert len(train) == 8 * 11
+
+
+class TestStats:
+    def test_stats_prints(self, corpus_dir, capsys):
+        assert main(["stats", str(corpus_dir / "dev.json")]) == 0
+        out = capsys.readouterr().out
+        assert "queries" in out
+
+
+class TestEvaluate:
+    def test_zero_shot_evaluation(self, corpus_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "zero",
+                "--llm", "chatgpt",
+                "--limit", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EM" in out and "EX" in out
+
+    def test_purple_evaluation_by_hardness(self, corpus_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "purple",
+                "--consistency", "3",
+                "--limit", "8",
+                "--by-hardness",
+            ]
+        )
+        assert code == 0
+        assert "by hardness" in capsys.readouterr().out
+
+    def test_unknown_approach_rejected(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "evaluate",
+                    "--train", str(corpus_dir / "train.json"),
+                    "--dev", str(corpus_dir / "dev.json"),
+                    "--approach", "nonsense",
+                ]
+            )
+
+
+class TestTranslate:
+    def test_translate_prints_sql(self, corpus_dir, capsys):
+        from repro.spider import Dataset
+
+        dev = Dataset.load(corpus_dir / "dev.json")
+        db_id = dev.db_ids()[0]
+        code = main(
+            [
+                "translate",
+                "How many hospitals are there?",
+                "--db-id", db_id,
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--consistency", "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip().upper().startswith("SELECT")
+
+    def test_unknown_db_rejected(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "translate", "q?",
+                    "--db-id", "ghost",
+                    "--train", str(corpus_dir / "train.json"),
+                    "--dev", str(corpus_dir / "dev.json"),
+                ]
+            )

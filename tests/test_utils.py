@@ -1,0 +1,75 @@
+"""Unit tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng, stable_hash
+from repro.utils.text import (
+    edit_distance,
+    normalize_identifier,
+    normalize_whitespace,
+    pluralize,
+    singularize,
+    split_words,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_nonnegative_63bit(self):
+        h = stable_hash("anything")
+        assert 0 <= h < 2**63
+
+
+class TestDeriveRng:
+    def test_same_scope_same_stream(self):
+        a = derive_rng(5, "x").integers(0, 1000, size=4)
+        b = derive_rng(5, "x").integers(0, 1000, size=4)
+        assert (a == b).all()
+
+    def test_different_scope_different_stream(self):
+        a = derive_rng(5, "x").integers(0, 1000, size=8)
+        b = derive_rng(5, "y").integers(0, 1000, size=8)
+        assert not (a == b).all()
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+
+class TestTextHelpers:
+    def test_normalize_whitespace(self):
+        assert normalize_whitespace("  a \n b\t c ") == "a b c"
+
+    def test_normalize_identifier(self):
+        assert normalize_identifier('  "MyCol" ') == "mycol"
+
+    def test_split_words_handles_underscores(self):
+        assert split_words("invoice_date X9") == ["invoice", "date", "x9"]
+
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("singer", "singers"),
+            ("city", "cities"),
+            ("dish", "dishes"),
+            ("movie", "movies"),
+            ("class", "classes"),
+            ("tv channel", "tv channels"),
+        ],
+    )
+    def test_pluralize_singularize_pairs(self, singular, plural):
+        assert pluralize(singular) == plural
+        assert singularize(plural.split()[-1]) == singular.split()[-1]
+
+    def test_pluralize_keeps_plural_shaped_words(self):
+        assert pluralize("credits") == "credits"
+
+    def test_edit_distance_basics(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
