@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.consistency import consistency_vote
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
 from repro.schema import Database, Schema, SchemaGraph, SQLiteExecutor
@@ -47,13 +48,34 @@ class C3:
         prompt = build_prompt(
             schema_text, task.question, instructions=C3_INSTRUCTIONS
         )
-        response = self.llm.complete(
-            LLMRequest(prompt=prompt, n=self.consistency_n)
+        retries_before = retries_so_far(self.llm)
+        outcome = run_ladder(
+            self.llm,
+            [
+                lambda: LLMRequest(prompt=prompt, n=self.consistency_n),
+                # Truncated/failing: retry a hint-free prompt at one sample.
+                lambda: LLMRequest(
+                    prompt=build_prompt(schema_text, task.question), n=1
+                ),
+            ],
         )
+        retries = retries_so_far(self.llm) - retries_before
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(task.database.schema),
+                degradation_level=outcome.level,
+                retries=retries,
+                best_effort=True,
+                events=outcome.events,
+            )
+        response = outcome.response
         final = consistency_vote(response.texts, self.executor, task.database)
         return TranslationResult(
             sql=final,
             usage=TokenUsage(response.prompt_tokens, response.output_tokens, 1),
+            degradation_level=outcome.level,
+            retries=retries,
+            events=outcome.events,
         )
 
     def close(self) -> None:

@@ -17,6 +17,8 @@ from typing import Optional
 from repro.core.prompt import PromptBuilder
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
+from repro.llm.errors import LLMError
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
 from repro.spider.dataset import Dataset
@@ -88,10 +90,23 @@ class DAILSQL:
         assert self.prompt_builder is not None, "call fit() first"
         schema_text = render_schema(task.database)
 
+        retries_before = retries_so_far(self.llm)
+        events: list = []
+
         # Preliminary SQL from a zero-shot call (DAIL's pre-prediction).
+        # On failure, selection falls back to question similarity alone.
         pre_prompt = build_prompt(schema_text, task.question)
-        preliminary = self.llm.complete(LLMRequest(prompt=pre_prompt, n=1))
-        pre_keywords = sql_keyword_set(preliminary.text)
+        pre_usage = TokenUsage()
+        pre_keywords = frozenset()
+        try:
+            preliminary = self.llm.complete(LLMRequest(prompt=pre_prompt, n=1))
+        except LLMError as exc:
+            events.append(f"{type(exc).__name__}@preliminary")
+        else:
+            pre_keywords = sql_keyword_set(preliminary.text)
+            pre_usage = TokenUsage(
+                preliminary.prompt_tokens, preliminary.output_tokens, 1
+            )
 
         question_words = masked_question_words(task.question)
         scores = [
@@ -103,17 +118,40 @@ class DAILSQL:
         prompt = self.prompt_builder.build(
             task.question, schema_text, demo_order=order, budget=self.budget
         )
-        response = self.llm.complete(
-            LLMRequest(prompt=prompt, n=self.consistency_n)
+        outcome = run_ladder(
+            self.llm,
+            [
+                lambda: LLMRequest(prompt=prompt, n=self.consistency_n),
+                # Truncation/persistent failure: shed the demonstrations.
+                lambda: LLMRequest(prompt=pre_prompt, n=1),
+            ],
         )
+        events.extend(outcome.events)
+        retries = retries_so_far(self.llm) - retries_before
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(task.database.schema),
+                usage=pre_usage,
+                degradation_level=outcome.level,
+                retries=retries,
+                best_effort=True,
+                events=tuple(events),
+            )
+        response = outcome.response
         from repro.core.consistency import consistency_vote
         from repro.schema import SQLiteExecutor
 
         with SQLiteExecutor() as executor:
             final = consistency_vote(response.texts, executor, task.database)
         usage = TokenUsage(
-            prompt_tokens=preliminary.prompt_tokens + response.prompt_tokens,
-            output_tokens=preliminary.output_tokens + response.output_tokens,
-            calls=2,
+            prompt_tokens=pre_usage.prompt_tokens + response.prompt_tokens,
+            output_tokens=pre_usage.output_tokens + response.output_tokens,
+            calls=pre_usage.calls + 1,
         )
-        return TranslationResult(sql=final, usage=usage)
+        return TranslationResult(
+            sql=final,
+            usage=usage,
+            degradation_level=outcome.level,
+            retries=retries,
+            events=tuple(events),
+        )

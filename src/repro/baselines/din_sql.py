@@ -14,6 +14,8 @@ from typing import Optional
 
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
+from repro.llm.errors import LLMError
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_demo, render_schema
 from repro.plm.labels import used_schema_items
@@ -82,17 +84,52 @@ class DINSQL:
             demos=self._static_demos,
             instructions=COT_INSTRUCTIONS,
         )
-        first = self.llm.complete(LLMRequest(prompt=prompt, n=1))
+        retries_before = retries_so_far(self.llm)
+        outcome = run_ladder(
+            self.llm,
+            [
+                lambda: LLMRequest(prompt=prompt, n=1),
+                # Truncation/persistent failure: drop the static
+                # demonstrations and the CoT instruction.
+                lambda: LLMRequest(
+                    prompt=build_prompt(schema_text, task.question), n=1
+                ),
+            ],
+        )
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(task.database.schema),
+                degradation_level=outcome.level,
+                retries=retries_so_far(self.llm) - retries_before,
+                best_effort=True,
+                events=outcome.events,
+            )
+        first = outcome.response
+        events = list(outcome.events)
         # Self-correction round: the model re-examines its own answer.
         correction_prompt = (
             prompt
             + f"\nPrevious answer: {first.text}\n"
             "Check the answer for schema and logic errors and answer again."
         )
-        second = self.llm.complete(LLMRequest(prompt=correction_prompt, n=1))
-        usage = TokenUsage(
-            prompt_tokens=first.prompt_tokens + second.prompt_tokens,
-            output_tokens=first.output_tokens + second.output_tokens,
-            calls=2,
+        try:
+            second = self.llm.complete(LLMRequest(prompt=correction_prompt, n=1))
+        except LLMError as exc:
+            # The first answer stands when the correction round fails.
+            events.append(f"{type(exc).__name__}@correction")
+            second = first
+        if second is first:
+            usage = TokenUsage(first.prompt_tokens, first.output_tokens, 1)
+        else:
+            usage = TokenUsage(
+                prompt_tokens=first.prompt_tokens + second.prompt_tokens,
+                output_tokens=first.output_tokens + second.output_tokens,
+                calls=2,
+            )
+        return TranslationResult(
+            sql=second.text,
+            usage=usage,
+            degradation_level=outcome.level,
+            retries=retries_so_far(self.llm) - retries_before,
+            events=tuple(events),
         )
-        return TranslationResult(sql=second.text, usage=usage)

@@ -23,7 +23,7 @@ from repro.llm.promptfmt import parse_prompt, build_prompt, render_schema
 from repro.llm.understanding import Understander
 from repro.plm.classifier import train_schema_classifier
 from repro.plm.skeleton_model import train_skeleton_predictor
-from repro.spider.archetypes import archetype_by_kind
+from repro.spider.archetypes import BUILD_ERRORS, archetype_by_kind
 from repro.spider.dataset import Dataset
 from repro.sqlkit.render import render_sql
 from repro.sqlkit.skeleton import skeleton_tokens
@@ -101,7 +101,7 @@ class PLMSeq2SQL:
         for realization in archetype.candidate_realizations(intent):
             try:
                 query = archetype.build(intent, realization, ctx)
-            except Exception:
+            except BUILD_ERRORS:
                 continue
             built.append((realization, query, tuple(skeleton_tokens(render_sql(query)))))
         if not built:

@@ -13,6 +13,7 @@ from typing import Optional
 from repro.core.prompt import PromptBuilder
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
 from repro.spider.dataset import Dataset
@@ -33,10 +34,25 @@ class ZeroShotSQL:
             task.database, values_per_column=self.values_per_column
         )
         prompt = build_prompt(schema_text, task.question)
-        response = self.llm.complete(LLMRequest(prompt=prompt, n=1))
+        retries_before = retries_so_far(self.llm)
+        outcome = run_ladder(
+            self.llm, [lambda: LLMRequest(prompt=prompt, n=1)]
+        )
+        retries = retries_so_far(self.llm) - retries_before
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(task.database.schema),
+                degradation_level=outcome.level,
+                retries=retries,
+                best_effort=True,
+                events=outcome.events,
+            )
+        response = outcome.response
         return TranslationResult(
             sql=response.text,
             usage=TokenUsage(response.prompt_tokens, response.output_tokens, 1),
+            retries=retries,
+            events=outcome.events,
         )
 
 
@@ -71,8 +87,31 @@ class FewShotRandom:
         prompt = self.prompt_builder.build(
             task.question, schema_text, demo_order=[], budget=self.budget, rng=rng
         )
-        response = self.llm.complete(LLMRequest(prompt=prompt, n=1))
+        retries_before = retries_so_far(self.llm)
+        outcome = run_ladder(
+            self.llm,
+            [
+                lambda: LLMRequest(prompt=prompt, n=1),
+                # Truncation/persistent failure: shed the demonstrations.
+                lambda: LLMRequest(
+                    prompt=build_prompt(schema_text, task.question), n=1
+                ),
+            ],
+        )
+        retries = retries_so_far(self.llm) - retries_before
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(task.database.schema),
+                degradation_level=outcome.level,
+                retries=retries,
+                best_effort=True,
+                events=outcome.events,
+            )
+        response = outcome.response
         return TranslationResult(
             sql=response.text,
             usage=TokenUsage(response.prompt_tokens, response.output_tokens, 1),
+            degradation_level=outcome.level,
+            retries=retries,
+            events=outcome.events,
         )

@@ -26,8 +26,9 @@ from repro.core.skeleton_prediction import (
 )
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
-from repro.llm.promptfmt import render_schema
+from repro.llm.promptfmt import build_prompt, render_schema
 from repro.plm.classifier import train_schema_classifier
 from repro.plm.skeleton_model import train_skeleton_predictor
 from repro.schema import SQLiteExecutor
@@ -135,7 +136,12 @@ class Purple:
                         render_demo(schema_text, task.question, synthetic)
                     )
 
-        # Step 4 — prompt assembly and the LLM call.
+        # Step 4 — prompt assembly and the LLM call, walked down the
+        # degradation ladder: the full prompt first (the exact request a
+        # fault-free run makes), then fewer demonstrations at half the
+        # budget (the only fix for a truncated completion), then
+        # zero-shot.  Later rungs build their prompts lazily, so the
+        # happy path is bit-identical to a ladder-free call.
         prompt = self.prompt_builder.build(
             task.question,
             schema_text,
@@ -144,9 +150,45 @@ class Purple:
             rng=rng,
             extra_blocks=extra_blocks,
         )
-        response = self.llm.complete(
-            LLMRequest(prompt=prompt, n=cfg.consistency_n)
+
+        def _half_budget_request() -> LLMRequest:
+            reduced = self.prompt_builder.build(
+                task.question,
+                schema_text,
+                demo_order,
+                budget=max(cfg.input_budget // 2, 256),
+                rng=derive_rng(
+                    cfg.seed, "degrade", task.db_id, stable_hash(task.question)
+                ),
+            )
+            return LLMRequest(prompt=reduced, n=cfg.consistency_n)
+
+        def _zero_shot_request() -> LLMRequest:
+            return LLMRequest(
+                prompt=build_prompt(schema_text, task.question),
+                n=cfg.consistency_n,
+            )
+
+        retries_before = retries_so_far(self.llm)
+        outcome = run_ladder(
+            self.llm,
+            [
+                lambda: LLMRequest(prompt=prompt, n=cfg.consistency_n),
+                _half_budget_request,
+                _zero_shot_request,
+            ],
         )
+        retries = retries_so_far(self.llm) - retries_before
+        if not outcome.ok:
+            return TranslationResult(
+                sql=best_effort_sql(schema),
+                usage=TokenUsage(),
+                degradation_level=outcome.level,
+                retries=retries,
+                best_effort=True,
+                events=outcome.events,
+            )
+        response = outcome.response
 
         # Step 5 — database adaption (repairs) and consistency voting.
         # Hallucinations are systematic per prompt, so without the repairs
@@ -166,7 +208,13 @@ class Purple:
             output_tokens=response.output_tokens,
             calls=1,
         )
-        return TranslationResult(sql=final, usage=usage)
+        return TranslationResult(
+            sql=final,
+            usage=usage,
+            degradation_level=outcome.level,
+            retries=retries,
+            events=outcome.events,
+        )
 
     def _predict_skeletons(self, task: TranslationTask, schema) -> list:
         oracle = self.oracle_skeletons.get((task.db_id, task.question))

@@ -3,7 +3,11 @@ token/cost accounting, and the experiment harness."""
 
 from repro.eval.cost import TokenUsage
 from repro.eval.exact_match import em_signature, exact_set_match
-from repro.eval.execution import execution_match, results_equal
+from repro.eval.execution import (
+    GoldExecutionError,
+    execution_match,
+    results_equal,
+)
 from repro.eval.harness import (
     EvaluationReport,
     ExampleOutcome,
@@ -31,6 +35,7 @@ __all__ = [
     "TokenUsage",
     "em_signature",
     "exact_set_match",
+    "GoldExecutionError",
     "execution_match",
     "results_equal",
     "EvaluationReport",

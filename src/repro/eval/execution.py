@@ -15,6 +15,15 @@ from repro.sqlkit.parser import parse_sql
 _FLOAT_DIGITS = 4
 
 
+class GoldExecutionError(ValueError):
+    """The *gold* SQL failed to execute — an evaluation-infrastructure
+    problem, not a model error.
+
+    The harness records such tasks as evaluation-error outcomes and keeps
+    going; a ValueError subclass so pre-existing callers still catch it.
+    """
+
+
 def execution_match(
     executor: SQLiteExecutor,
     db_key: str,
@@ -24,7 +33,9 @@ def execution_match(
     """True when the prediction's result matches the gold's."""
     gold_result = executor.execute(db_key, gold_sql)
     if not gold_result.ok:
-        raise ValueError(f"gold SQL failed to execute: {gold_result.error}")
+        raise GoldExecutionError(
+            f"gold SQL failed to execute: {gold_result.error}"
+        )
     pred_result = executor.execute(db_key, predicted_sql)
     if not pred_result.ok:
         return False

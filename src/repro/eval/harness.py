@@ -12,8 +12,9 @@ from typing import Optional, Protocol
 
 from repro.eval.cost import TokenUsage
 from repro.eval.exact_match import exact_set_match
-from repro.eval.execution import execution_match
+from repro.eval.execution import GoldExecutionError, execution_match
 from repro.eval.test_suite import TestSuite, build_test_suite
+from repro.llm.errors import LLMError
 from repro.schema import Database, SQLiteExecutor
 from repro.spider.dataset import Dataset
 
@@ -38,10 +39,20 @@ class TranslationTask:
 
 @dataclass
 class TranslationResult:
-    """An approach's answer plus its API cost."""
+    """An approach's answer plus its API cost and resilience record.
+
+    The resilience fields default to the happy path (no degradation, no
+    retries) so approaches without a fault-handling layer are unchanged.
+    ``best_effort`` marks answers produced by the last-resort fallback
+    after every prompt rung failed — executable but not LLM-derived.
+    """
 
     sql: str
     usage: TokenUsage = field(default_factory=TokenUsage)
+    degradation_level: int = 0
+    retries: int = 0
+    best_effort: bool = False
+    events: tuple = ()
 
 
 class NL2SQLApproach(Protocol):
@@ -56,7 +67,13 @@ class NL2SQLApproach(Protocol):
 
 @dataclass
 class ExampleOutcome:
-    """Per-example scoring record."""
+    """Per-example scoring record.
+
+    ``answered`` is False when the approach could not produce an
+    LLM-derived answer (best-effort fallback or an unhandled provider
+    error); ``eval_error`` marks tasks whose *gold* SQL failed to
+    execute — those are excluded from the accuracy rates.
+    """
 
     ex_id: str
     hardness: str
@@ -65,6 +82,10 @@ class ExampleOutcome:
     ex: bool
     ts: Optional[bool] = None
     usage: TokenUsage = field(default_factory=TokenUsage)
+    answered: bool = True
+    degradation_level: int = 0
+    retries: int = 0
+    eval_error: Optional[str] = None
 
 
 @dataclass
@@ -78,26 +99,55 @@ class EvaluationReport:
     def __len__(self) -> int:
         return len(self.outcomes)
 
+    def scored(self) -> list:
+        """Outcomes that count toward accuracy (gold executed cleanly)."""
+        return [o for o in self.outcomes if o.eval_error is None]
+
     @property
     def em(self) -> float:
         """Exact-set-match accuracy."""
-        return _rate([o.em for o in self.outcomes])
+        return _rate([o.em for o in self.scored()])
 
     @property
     def ex(self) -> float:
         """Execution-match accuracy."""
-        return _rate([o.ex for o in self.outcomes])
+        return _rate([o.ex for o in self.scored()])
 
     @property
     def ts(self) -> float:
         """Test-suite accuracy over the scored outcomes."""
-        scored = [o.ts for o in self.outcomes if o.ts is not None]
+        scored = [o.ts for o in self.scored() if o.ts is not None]
         return _rate(scored)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of tasks that got an LLM-derived answer.
+
+        Accuracy says how *good* the answers were; availability says how
+        often the service produced one at all under faults.
+        """
+        return _rate([o.answered for o in self.outcomes])
+
+    @property
+    def eval_errors(self) -> int:
+        """Tasks skipped because their gold SQL failed to execute."""
+        return sum(1 for o in self.outcomes if o.eval_error is not None)
+
+    @property
+    def total_retries(self) -> int:
+        """Provider retries summed over all tasks."""
+        return sum(o.retries for o in self.outcomes)
+
+    def retries_per_query(self) -> float:
+        """Average provider retries per evaluated query."""
+        if not self.outcomes:
+            return 0.0
+        return self.total_retries / len(self.outcomes)
 
     def by_hardness(self, metric: str = "em") -> dict:
         """Per-hardness-level accuracy for the given metric."""
         buckets: dict[str, list[bool]] = {}
-        for outcome in self.outcomes:
+        for outcome in self.scored():
             value = getattr(outcome, metric)
             if value is None:
                 continue
@@ -147,11 +197,40 @@ def evaluate_approach(
                 question=example.question,
                 database=dataset.database(example.db_id),
             )
-            result = approach.translate(task)
+            try:
+                result = approach.translate(task)
+            except LLMError:
+                # An approach without a degradation ladder let a provider
+                # error through: record an unanswered outcome and keep the
+                # run alive rather than losing every task after this one.
+                report.outcomes.append(
+                    ExampleOutcome(
+                        ex_id=example.ex_id,
+                        hardness=example.hardness,
+                        predicted_sql="",
+                        em=False,
+                        ex=False,
+                        answered=False,
+                        eval_error=None,
+                        retries=0,
+                    )
+                )
+                continue
             em = exact_set_match(example.sql, result.sql)
-            ex = execution_match(executor, example.db_id, example.sql, result.sql)
+            eval_error = None
+            try:
+                ex = execution_match(
+                    executor, example.db_id, example.sql, result.sql
+                )
+            except GoldExecutionError as exc:
+                ex = False
+                eval_error = str(exc)
             ts = None
-            if test_suites is not None and example.db_id in test_suites:
+            if (
+                eval_error is None
+                and test_suites is not None
+                and example.db_id in test_suites
+            ):
                 ts = test_suites[example.db_id].match(example.sql, result.sql)
             report.outcomes.append(
                 ExampleOutcome(
@@ -162,6 +241,10 @@ def evaluate_approach(
                     ex=ex,
                     ts=ts,
                     usage=result.usage,
+                    answered=not result.best_effort,
+                    degradation_level=result.degradation_level,
+                    retries=result.retries,
+                    eval_error=eval_error,
                 )
             )
     return report

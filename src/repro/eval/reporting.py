@@ -17,11 +17,18 @@ from typing import Optional
 
 from repro.eval.harness import HARDNESS_ORDER, EvaluationReport
 
-_METRICS = ("em", "ex", "ts")
+_METRICS = ("em", "ex", "ts", "availability")
 
 
-def summary_rows(reports: dict, include_ts: bool = False) -> list:
-    """One row per report: name, EM, EX, (TS), tokens/query, n."""
+def summary_rows(
+    reports: dict, include_ts: bool = False, include_resilience: bool = False
+) -> list:
+    """One row per report: name, EM, EX, (TS), tokens/query, n.
+
+    With ``include_resilience`` the row also carries availability (share
+    of tasks answered with LLM-derived SQL) and retries per query, so
+    fault-injection benches report accuracy *and* availability.
+    """
     rows = []
     for name, report in reports.items():
         row = {
@@ -31,15 +38,23 @@ def summary_rows(reports: dict, include_ts: bool = False) -> list:
         }
         if include_ts:
             row["ts"] = round(report.ts, 4)
+        if include_resilience:
+            row["availability"] = round(report.availability, 4)
+            row["retries_per_query"] = round(report.retries_per_query(), 3)
+            row["eval_errors"] = report.eval_errors
         row["tokens_per_query"] = report.tokens_per_query()
         row["queries"] = len(report)
         rows.append(row)
     return rows
 
 
-def markdown_table(reports: dict, include_ts: bool = False) -> str:
+def markdown_table(
+    reports: dict, include_ts: bool = False, include_resilience: bool = False
+) -> str:
     """A GitHub-flavoured markdown summary table."""
-    rows = summary_rows(reports, include_ts=include_ts)
+    rows = summary_rows(
+        reports, include_ts=include_ts, include_resilience=include_resilience
+    )
     if not rows:
         return ""
     headers = list(rows[0])
@@ -75,9 +90,13 @@ def hardness_table(report: EvaluationReport, metric: str = "em") -> str:
     return "\n".join(lines)
 
 
-def to_csv(reports: dict, include_ts: bool = False) -> str:
+def to_csv(
+    reports: dict, include_ts: bool = False, include_resilience: bool = False
+) -> str:
     """CSV text with one row per report."""
-    rows = summary_rows(reports, include_ts=include_ts)
+    rows = summary_rows(
+        reports, include_ts=include_ts, include_resilience=include_resilience
+    )
     if not rows:
         return ""
     buffer = io.StringIO()
@@ -87,6 +106,17 @@ def to_csv(reports: dict, include_ts: bool = False) -> str:
     return buffer.getvalue()
 
 
-def save_csv(reports: dict, path, include_ts: bool = False) -> None:
+def save_csv(
+    reports: dict,
+    path,
+    include_ts: bool = False,
+    include_resilience: bool = False,
+) -> None:
     """Write :func:`to_csv` output to a file."""
-    Path(path).write_text(to_csv(reports, include_ts=include_ts))
+    Path(path).write_text(
+        to_csv(
+            reports,
+            include_ts=include_ts,
+            include_resilience=include_resilience,
+        )
+    )

@@ -20,8 +20,29 @@ simulator* with the properties the paper's argument rests on:
 Profiles calibrate a ChatGPT-like and a GPT4-like model.
 """
 
+from repro.llm.degrade import LadderOutcome, best_effort_sql, run_ladder
+from repro.llm.errors import (
+    CircuitOpenError,
+    LLMError,
+    MalformedCompletion,
+    ProviderTimeout,
+    RateLimitError,
+    ServerError,
+    TruncatedCompletion,
+)
+from repro.llm.faults import FaultPolicy, FaultyLLM, fault_schedule
 from repro.llm.interface import LLMRequest, LLMResponse
 from repro.llm.mock_llm import MockLLM
+from repro.llm.resilient import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FakeClock,
+    ResilienceStats,
+    ResilientLLM,
+    RetryPolicy,
+    RetryStats,
+    SystemClock,
+)
 from repro.llm.profiles import CHATGPT, GPT4, LLMProfile, profile_by_name
 from repro.llm.promptfmt import (
     ParsedPrompt,
@@ -39,6 +60,27 @@ __all__ = [
     "LLMRequest",
     "LLMResponse",
     "MockLLM",
+    "LLMError",
+    "RateLimitError",
+    "ProviderTimeout",
+    "ServerError",
+    "TruncatedCompletion",
+    "MalformedCompletion",
+    "CircuitOpenError",
+    "FaultPolicy",
+    "FaultyLLM",
+    "fault_schedule",
+    "ResilientLLM",
+    "RetryPolicy",
+    "RetryStats",
+    "ResilienceStats",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FakeClock",
+    "SystemClock",
+    "LadderOutcome",
+    "run_ladder",
+    "best_effort_sql",
     "CHATGPT",
     "GPT4",
     "LLMProfile",

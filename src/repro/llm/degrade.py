@@ -1,0 +1,79 @@
+"""The graceful-degradation ladder shared by PURPLE and the baselines.
+
+When a request fails past the resilience layer (a truncated completion,
+a persistent outage, an open breaker), crashing the translation is the
+worst answer: the harness loses the whole run.  Instead every approach
+walks a *ladder* of progressively cheaper prompts — full prompt → fewer
+demonstrations at a smaller budget → zero-shot — and, when every rung
+fails, returns a best-effort ``SELECT`` so the task still produces an
+executable answer.  Benches then report availability alongside accuracy.
+
+Rungs are thunks returning :class:`~repro.llm.interface.LLMRequest` so
+the cheaper prompts are only built when actually needed — on the happy
+path the first rung is the exact request the approach always made,
+keeping no-fault behaviour bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.llm.errors import LLMError
+from repro.llm.interface import LLM, LLMRequest, LLMResponse
+
+
+@dataclass
+class LadderOutcome:
+    """Which rung answered (if any) and what failed on the way down."""
+
+    response: Optional[LLMResponse]
+    #: Index of the rung that succeeded; ``len(rungs)`` when none did.
+    level: int
+    #: One ``"ErrorType@rung"`` entry per failed rung.
+    events: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when some rung produced a response."""
+        return self.response is not None
+
+
+def run_ladder(
+    llm: LLM, rungs: Sequence[Callable[[], LLMRequest]]
+) -> LadderOutcome:
+    """Try each rung in order until one completes.
+
+    Only :class:`LLMError` moves the ladder down a rung — anything else
+    is a bug and propagates.
+    """
+    events: list = []
+    for level, make_request in enumerate(rungs):
+        try:
+            response = llm.complete(make_request())
+        except LLMError as exc:
+            events.append(f"{type(exc).__name__}@{level}")
+            continue
+        return LadderOutcome(response=response, level=level, events=tuple(events))
+    return LadderOutcome(response=None, level=len(rungs), events=tuple(events))
+
+
+def retries_so_far(llm: LLM) -> int:
+    """Cumulative provider retries a resilience wrapper has performed.
+
+    Zero for bare providers; callers snapshot before/after a ladder to
+    attribute retries to one translation.
+    """
+    stats = getattr(llm, "stats", None)
+    return getattr(stats, "retries", 0)
+
+
+def best_effort_sql(schema) -> str:
+    """The last-resort answer: select everything from the first table.
+
+    Always executable, never accurate — it keeps availability at 100%
+    while scoring 0 on EM/EX, which is the honest way to fail.
+    """
+    if getattr(schema, "tables", None):
+        return f"SELECT * FROM {schema.tables[0].name}"
+    return "SELECT 1"

@@ -1,0 +1,100 @@
+"""The typed LLM error taxonomy.
+
+The :class:`~repro.llm.interface.LLM` protocol models a remote
+chat-completion API, and remote APIs fail: they rate-limit, time out,
+return 5xx, cut completions short, or emit undecodable bytes.  Every
+failure mode the resilience layer reasons about is a subclass of
+:class:`LLMError`, so callers can write ``except LLMError`` at the
+infrastructure boundary instead of ``except Exception``.
+
+Two axes matter downstream:
+
+* ``retryable`` — whether re-issuing the *same* request can plausibly
+  succeed (rate limits, timeouts, 5xx, malformed output: yes; a
+  truncated completion: no, the prompt itself must shrink first);
+* payload — truncation carries the partial text, rate limits carry the
+  provider's suggested ``retry_after``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LLMError(Exception):
+    """Base class for every provider-boundary failure.
+
+    ``retryable`` marks whether repeating the identical request can
+    succeed; subclasses set the class default and instances may override.
+    """
+
+    retryable: bool = False
+
+    def __init__(self, message: str = "", *, retryable: Optional[bool] = None):
+        super().__init__(message or type(self).__name__)
+        if retryable is not None:
+            self.retryable = retryable
+
+
+class RateLimitError(LLMError):
+    """The provider rejected the request for quota/throughput reasons."""
+
+    retryable = True
+
+    def __init__(
+        self, message: str = "", *, retry_after: Optional[float] = None
+    ):
+        super().__init__(message)
+        #: Provider-suggested minimum wait (seconds) before retrying.
+        self.retry_after = retry_after
+
+
+class ProviderTimeout(LLMError):
+    """No response arrived within the transport timeout."""
+
+    retryable = True
+
+
+class ServerError(LLMError):
+    """The provider returned an internal error (HTTP 5xx analogue)."""
+
+    retryable = True
+
+
+class TruncatedCompletion(LLMError):
+    """The completion was cut off (length limit / dropped stream).
+
+    Not retryable at the same prompt size: the caller must shed prompt
+    content (the degradation ladder's job) before trying again.
+    ``partial_text`` carries whatever arrived before the cut.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str = "", *, partial_text: str = ""):
+        super().__init__(message)
+        self.partial_text = partial_text
+
+
+class MalformedCompletion(LLMError):
+    """The provider's payload could not be decoded into completions.
+
+    Retryable: resampling the same request usually yields a clean
+    payload.  ``raw_text`` carries the undecodable output for logging.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str = "", *, raw_text: str = ""):
+        super().__init__(message)
+        self.raw_text = raw_text
+
+
+class CircuitOpenError(LLMError):
+    """The client-side circuit breaker refused the call.
+
+    Raised without touching the provider; not retryable from the
+    caller's point of view until the breaker's recovery time elapses.
+    """
+
+    retryable = False

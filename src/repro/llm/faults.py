@@ -1,0 +1,160 @@
+"""Deterministic fault injection around any :class:`~repro.llm.interface.LLM`.
+
+``FaultyLLM`` wraps a provider and raises errors from the
+:mod:`repro.llm.errors` taxonomy on a seeded, bit-reproducible schedule:
+the fault (or absence of one) for call *i* depends only on
+``(policy.seed, i)`` plus the burst state accumulated over calls
+``0..i-1``, never on wall-clock time or the prompt text.  Two runs that
+issue the same call sequence see the exact same outages, which is what
+makes the resilience benchmarks reproducible.
+
+Faults are *transient*: a retry is a new call with a fresh draw, so a
+20% fault rate clears with probability 0.8 per attempt.  Burst mode
+models correlated outages — once a burst starts, the next
+``burst_length`` calls all fail with :class:`ServerError`, which is what
+trips circuit breakers in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.llm.errors import (
+    MalformedCompletion,
+    ProviderTimeout,
+    RateLimitError,
+    ServerError,
+    TruncatedCompletion,
+)
+from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.utils.rng import derive_rng
+
+#: Order in which per-fault rates claim the uniform draw (cumulative).
+FAULT_KINDS = ("rate_limit", "timeout", "server_error", "truncation", "malformed")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-call fault probabilities plus the burst (correlated-outage) knobs."""
+
+    rate_limit: float = 0.0
+    timeout: float = 0.0
+    server_error: float = 0.0
+    truncation: float = 0.0
+    malformed: float = 0.0
+    #: Probability that a burst *starts* on any given non-burst call.
+    burst_rate: float = 0.0
+    #: Number of consecutive failing calls once a burst starts.
+    burst_length: int = 4
+    #: ``retry_after`` hint attached to injected rate-limit errors.
+    retry_after: Optional[float] = None
+    seed: int = 0
+
+    @classmethod
+    def transient(cls, rate: float, seed: int = 0, **overrides) -> "FaultPolicy":
+        """A policy spending ``rate`` across the three transient kinds."""
+        return cls(
+            rate_limit=rate / 2,
+            timeout=rate / 4,
+            server_error=rate / 4,
+            seed=seed,
+            **overrides,
+        )
+
+    @property
+    def total_rate(self) -> float:
+        """Per-call probability of any (non-burst) fault."""
+        return (
+            self.rate_limit
+            + self.timeout
+            + self.server_error
+            + self.truncation
+            + self.malformed
+        )
+
+    def draw(self, index: int, burst_remaining: int) -> tuple:
+        """The fault kind for call ``index`` (or None) and the next burst state.
+
+        Pure function of ``(seed, index, burst_remaining)`` — both
+        :class:`FaultyLLM` and :func:`fault_schedule` go through here, so
+        the preview always matches the live injector.
+        """
+        rng = derive_rng(self.seed, "fault", index)
+        burst_u = rng.random()
+        fault_u = rng.random()
+        if burst_remaining > 0:
+            return "burst", burst_remaining - 1
+        if self.burst_rate and burst_u < self.burst_rate:
+            return "burst", max(self.burst_length - 1, 0)
+        acc = 0.0
+        for kind in FAULT_KINDS:
+            acc += getattr(self, kind)
+            if fault_u < acc:
+                return kind, 0
+        return None, 0
+
+
+def fault_schedule(policy: FaultPolicy, n: int) -> list:
+    """The first ``n`` entries of the policy's fault schedule.
+
+    Each entry is a kind from :data:`FAULT_KINDS`, ``"burst"``, or None.
+    """
+    schedule = []
+    burst_remaining = 0
+    for index in range(n):
+        kind, burst_remaining = policy.draw(index, burst_remaining)
+        schedule.append(kind)
+    return schedule
+
+
+class FaultyLLM:
+    """Injects scheduled faults around an inner LLM.
+
+    Transparent when the policy's rates are all zero: ``complete`` simply
+    forwards to the inner provider.  Counters (``calls``,
+    ``injected[kind]``) let benches report the realized fault mix.
+    """
+
+    def __init__(self, inner: LLM, policy: Optional[FaultPolicy] = None):
+        self.inner = inner
+        self.policy = policy or FaultPolicy()
+        self.name = inner.name
+        self.calls = 0
+        self.injected: dict = {}
+        self._burst_remaining = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Forward to the inner LLM unless this call's schedule says fault."""
+        index = self.calls
+        self.calls += 1
+        kind, self._burst_remaining = self.policy.draw(
+            index, self._burst_remaining
+        )
+        if kind is None:
+            return self.inner.complete(request)
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if kind == "burst":
+            raise ServerError(f"simulated correlated outage (call {index})")
+        if kind == "rate_limit":
+            raise RateLimitError(
+                f"simulated rate limit (call {index})",
+                retry_after=self.policy.retry_after,
+            )
+        if kind == "timeout":
+            raise ProviderTimeout(f"simulated provider timeout (call {index})")
+        if kind == "server_error":
+            raise ServerError(f"simulated server error (call {index})")
+        if kind == "truncation":
+            # The provider did work before cutting the stream: surface the
+            # partial text so callers can log or salvage it.
+            response = self.inner.complete(request)
+            text = response.text
+            raise TruncatedCompletion(
+                f"simulated truncated completion (call {index})",
+                partial_text=text[: max(len(text) // 2, 1)],
+            )
+        raise MalformedCompletion(
+            f"simulated undecodable payload (call {index})",
+            raw_text="\x00<garbled>\x00",
+        )

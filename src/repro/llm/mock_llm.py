@@ -24,7 +24,7 @@ from repro.llm.promptfmt import ParsedPrompt, SchemaInfo, parse_prompt
 from repro.llm.tokenizer import count_tokens
 from repro.llm.understanding import Understander
 from repro.plm.features import convention_cues
-from repro.spider.archetypes import archetype_by_kind
+from repro.spider.archetypes import BUILD_ERRORS, archetype_by_kind
 from repro.spider.blueprint import ColumnBlueprint
 from repro.spider.intents import IntentSpec
 from repro.sqlkit.abstraction import abstract_tokens
@@ -173,7 +173,7 @@ class MockLLM:
         for realization in archetype.candidate_realizations(intent):
             try:
                 query = archetype.build(intent, realization, ctx)
-            except Exception:
+            except BUILD_ERRORS:
                 continue
             base_candidates.append((realization, query))
         if not base_candidates:

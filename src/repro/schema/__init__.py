@@ -2,7 +2,12 @@
 
 from repro.schema.graph import SchemaGraph
 from repro.schema.model import Column, Database, ForeignKey, Schema, Table
-from repro.schema.sqlite_backend import ExecutionResult, SQLiteExecutor, create_sqlite
+from repro.schema.sqlite_backend import (
+    CacheInfo,
+    ExecutionResult,
+    SQLiteExecutor,
+    create_sqlite,
+)
 
 __all__ = [
     "Column",
@@ -11,6 +16,7 @@ __all__ = [
     "Schema",
     "Table",
     "SchemaGraph",
+    "CacheInfo",
     "ExecutionResult",
     "SQLiteExecutor",
     "create_sqlite",

@@ -2,13 +2,19 @@
 
 The paper's evaluation executes SQL against the Spider SQLite databases;
 this module does the same for our synthetic databases via the standard
-library ``sqlite3``.  Executors cache connections per database and cap
-result size so a runaway query cannot stall an evaluation run.
+library ``sqlite3``.  Executors cache connections per database and guard
+against runaway queries twice over: a row cap bounds result size, and a
+progress-handler statement timeout interrupts queries (hallucinated
+cross joins, most often) that would otherwise stall an evaluation run
+indefinitely.  The per-(database, SQL) result cache is LRU-bounded with
+hit/miss counters so long benchmark runs hold steady memory.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -22,12 +28,14 @@ class ExecutionResult:
     """Outcome of executing one SQL query.
 
     ``rows`` is None when execution failed; ``error`` carries the DBMS
-    message in that case.
+    message in that case, and ``timed_out`` marks statement-timeout
+    interrupts specifically.
     """
 
     rows: Optional[list[tuple]] = None
     error: Optional[str] = None
     columns: list[str] = field(default_factory=list)
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -68,17 +76,41 @@ def create_sqlite(database: Database, path: str = ":memory:") -> sqlite3.Connect
     return conn
 
 
+@dataclass
+class CacheInfo:
+    """Hit/miss counters and occupancy of the result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+    capacity: int = 0
+
+
 class SQLiteExecutor:
     """Executes SQL against materialized databases with connection caching.
 
-    One executor instance is shared across an evaluation run; databases are
-    materialized lazily and kept in memory.
+    One executor instance is shared across an evaluation run; databases
+    are materialized lazily and kept in memory.  ``statement_timeout``
+    (seconds, None disables) interrupts long-running statements via a
+    SQLite progress handler; ``cache_size`` bounds the LRU result cache.
     """
 
-    def __init__(self, max_rows: int = 10_000):
+    #: VM instructions between progress-handler timeout checks.
+    PROGRESS_OPS = 2_000
+
+    def __init__(
+        self,
+        max_rows: int = 10_000,
+        statement_timeout: Optional[float] = 10.0,
+        cache_size: int = 4_096,
+    ):
         self.max_rows = max_rows
+        self.statement_timeout = statement_timeout
+        self.cache_size = cache_size
         self._connections: dict[str, sqlite3.Connection] = {}
-        self._cache: dict[tuple[str, str], ExecutionResult] = {}
+        self._cache: OrderedDict[tuple[str, str], ExecutionResult] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def register(self, database: Database, key: Optional[str] = None) -> str:
         """Materialize a database and return its registry key."""
@@ -92,19 +124,41 @@ class SQLiteExecutor:
         return key in self._connections
 
     def execute(self, key: str, sql: str) -> ExecutionResult:
-        """Execute SQL against a registered database (cached)."""
+        """Execute SQL against a registered database (LRU-cached)."""
         cache_key = (key, sql)
-        if cache_key in self._cache:
-            return self._cache[cache_key]
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(cache_key)
+            return cached
+        self.cache_misses += 1
         conn = self._connections.get(key)
         if conn is None:
             result = ExecutionResult(error=f"unknown database {key!r}")
         else:
             result = self._run(conn, sql)
         self._cache[cache_key] = result
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
         return result
 
+    def cache_info(self) -> CacheInfo:
+        """Current hit/miss counters and cache occupancy."""
+        return CacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            size=len(self._cache),
+            capacity=self.cache_size,
+        )
+
     def _run(self, conn: sqlite3.Connection, sql: str) -> ExecutionResult:
+        deadline = None
+        if self.statement_timeout is not None:
+            deadline = time.monotonic() + self.statement_timeout
+            conn.set_progress_handler(
+                lambda: 1 if time.monotonic() > deadline else 0,
+                self.PROGRESS_OPS,
+            )
         try:
             cursor = conn.execute(sql)
             rows = cursor.fetchmany(self.max_rows + 1)
@@ -114,8 +168,21 @@ class SQLiteExecutor:
                 [d[0] for d in cursor.description] if cursor.description else []
             )
             return ExecutionResult(rows=[tuple(r) for r in rows], columns=columns)
+        except sqlite3.OperationalError as exc:
+            if deadline is not None and "interrupt" in str(exc).lower():
+                return ExecutionResult(
+                    error=(
+                        "statement timeout after "
+                        f"{self.statement_timeout:g}s"
+                    ),
+                    timed_out=True,
+                )
+            return ExecutionResult(error=str(exc))
         except sqlite3.Error as exc:
             return ExecutionResult(error=str(exc))
+        finally:
+            if deadline is not None:
+                conn.set_progress_handler(None, 0)
 
     def close(self) -> None:
         """Release the underlying SQLite resources."""

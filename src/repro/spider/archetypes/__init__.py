@@ -9,7 +9,7 @@ its own favourite, and PURPLE's demonstration selection is what teaches the
 LLM which composition the task at hand requires.
 """
 
-from repro.spider.archetypes.base import Archetype, DomainContext
+from repro.spider.archetypes.base import BUILD_ERRORS, Archetype, DomainContext
 from repro.spider.archetypes.registry import (
     REGISTRY,
     archetype_by_kind,
@@ -18,6 +18,7 @@ from repro.spider.archetypes.registry import (
 
 __all__ = [
     "Archetype",
+    "BUILD_ERRORS",
     "DomainContext",
     "REGISTRY",
     "archetype_by_kind",

@@ -344,6 +344,13 @@ def join_phrases(phrases: list[str]) -> str:
 # The archetype protocol
 # ---------------------------------------------------------------------------
 
+#: What ``Archetype.build`` raises when an intent cannot be realized over a
+#: (possibly pruned or prompt-parsed) schema: missing blueprint entries
+#: (KeyError/AttributeError), empty candidate pools (IndexError), and
+#: malformed slot values (ValueError).  Callers skipping unbuildable
+#: realizations catch exactly these — anything else is a bug and propagates.
+BUILD_ERRORS = (KeyError, IndexError, AttributeError, ValueError)
+
 
 class Archetype:
     """One family of NL2SQL tasks.

@@ -1,0 +1,216 @@
+"""Pipeline-level graceful degradation under injected provider faults."""
+
+import pytest
+
+from repro.core import Purple, PurpleConfig
+from repro.eval import TranslationTask, evaluate_approach
+from repro.llm import (
+    CHATGPT,
+    FakeClock,
+    FaultPolicy,
+    FaultyLLM,
+    LLMRequest,
+    MockLLM,
+    ResilientLLM,
+    RetryPolicy,
+    ServerError,
+    TruncatedCompletion,
+    best_effort_sql,
+    run_ladder,
+)
+
+
+class ScriptedLLM:
+    """Raises scripted errors for the first calls, then delegates."""
+
+    def __init__(self, inner, errors=()):
+        self.inner = inner
+        self.name = inner.name
+        self.errors = list(errors)
+        self.prompts = []
+
+    def complete(self, request: LLMRequest):
+        self.prompts.append(request.prompt)
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.inner.complete(request)
+
+
+@pytest.fixture()
+def task(dev_set):
+    ex = dev_set.examples[0]
+    return TranslationTask(
+        question=ex.question, database=dev_set.database(ex.db_id)
+    )
+
+
+def make_purple(llm, train_set, **config):
+    config.setdefault("consistency_n", 1)
+    return Purple(llm, PurpleConfig(**config)).fit(train_set)
+
+
+class TestRunLadder:
+    def test_first_rung_on_happy_path(self):
+        llm = ScriptedLLM(MockLLM(CHATGPT, seed=1))
+        outcome = run_ladder(llm, [lambda: LLMRequest(prompt="q")])
+        assert outcome.ok
+        assert outcome.level == 0
+        assert outcome.events == ()
+
+    def test_descends_on_llm_error(self):
+        llm = ScriptedLLM(MockLLM(CHATGPT, seed=1), [TruncatedCompletion()])
+        outcome = run_ladder(
+            llm,
+            [lambda: LLMRequest(prompt="full"), lambda: LLMRequest(prompt="small")],
+        )
+        assert outcome.ok
+        assert outcome.level == 1
+        assert outcome.events == ("TruncatedCompletion@0",)
+        assert llm.prompts == ["full", "small"]
+
+    def test_all_rungs_failing(self):
+        llm = ScriptedLLM(MockLLM(CHATGPT, seed=1), [ServerError()] * 2)
+        outcome = run_ladder(
+            llm, [lambda: LLMRequest(prompt="a"), lambda: LLMRequest(prompt="b")]
+        )
+        assert not outcome.ok
+        assert outcome.level == 2
+        assert outcome.events == ("ServerError@0", "ServerError@1")
+
+    def test_non_llm_errors_propagate(self):
+        class Broken:
+            name = "broken"
+
+            def complete(self, request):
+                raise RuntimeError("bug, not an outage")
+
+        with pytest.raises(RuntimeError):
+            run_ladder(Broken(), [lambda: LLMRequest(prompt="q")])
+
+
+class TestPipelineDegradation:
+    def test_total_outage_returns_best_effort(self, train_set, task):
+        """100% fault rate: every rung fails, the answer is still SQL."""
+        llm = FaultyLLM(
+            MockLLM(CHATGPT, seed=1), FaultPolicy(server_error=1.0, seed=0)
+        )
+        purple = make_purple(llm, train_set)
+        result = purple.translate(task)
+        assert result.best_effort
+        assert result.degradation_level == 3
+        assert result.sql.upper().startswith("SELECT")
+        assert len(result.events) == 3
+        assert all(e.startswith("ServerError@") for e in result.events)
+        purple.close()
+
+    def test_truncation_uses_reduced_budget_rung(self, train_set, task):
+        """A truncated first call walks down to the half-budget prompt."""
+        llm = ScriptedLLM(MockLLM(CHATGPT, seed=1), [TruncatedCompletion()])
+        purple = make_purple(llm, train_set)
+        result = purple.translate(task)
+        assert not result.best_effort
+        assert result.degradation_level == 1
+        assert result.events == ("TruncatedCompletion@0",)
+        assert result.sql.upper().startswith("SELECT")
+        # The retry prompt really did shrink.
+        assert len(llm.prompts[1]) < len(llm.prompts[0])
+        purple.close()
+
+    def test_two_failures_reach_zero_shot(self, train_set, task):
+        llm = ScriptedLLM(
+            MockLLM(CHATGPT, seed=1), [ServerError(), ServerError()]
+        )
+        purple = make_purple(llm, train_set)
+        result = purple.translate(task)
+        assert not result.best_effort
+        assert result.degradation_level == 2
+        assert len(llm.prompts) == 3
+        purple.close()
+
+    def test_retries_attributed_to_translation(self, train_set, task):
+        """Wrapper retries surface on the TranslationResult."""
+        clock = FakeClock()
+        inner = ScriptedLLM(MockLLM(CHATGPT, seed=1), [ServerError()] * 2)
+        llm = ResilientLLM(
+            inner,
+            retry=RetryPolicy(max_attempts=4, deadline=None),
+            clock=clock,
+            seed=3,
+        )
+        purple = make_purple(llm, train_set)
+        result = purple.translate(task)
+        assert not result.best_effort
+        assert result.degradation_level == 0
+        assert result.retries == 2
+        assert len(clock.sleeps) == 2
+        purple.close()
+
+    def test_best_effort_sql_uses_first_table(self, dev_set):
+        db = dev_set.database(dev_set.examples[0].db_id)
+        sql = best_effort_sql(db.schema)
+        assert sql == f"SELECT * FROM {db.schema.tables[0].name}"
+
+    def test_best_effort_sql_without_tables(self):
+        class Empty:
+            tables = []
+
+        assert best_effort_sql(Empty()) == "SELECT 1"
+
+
+class TestNoFaultTransparency:
+    def test_wrapped_pipeline_bit_identical(self, train_set, dev_set):
+        """Zero-rate faults + resilience wrapper change nothing at all."""
+        plain = make_purple(
+            MockLLM(CHATGPT, seed=1), train_set, consistency_n=3
+        )
+        wrapped = make_purple(
+            ResilientLLM(
+                FaultyLLM(MockLLM(CHATGPT, seed=1), FaultPolicy()),
+                clock=FakeClock(),
+            ),
+            train_set,
+            consistency_n=3,
+        )
+        for ex in dev_set.examples[:8]:
+            task = TranslationTask(
+                question=ex.question, database=dev_set.database(ex.db_id)
+            )
+            a = plain.translate(task)
+            b = wrapped.translate(task)
+            assert a.sql == b.sql
+            assert a.usage == b.usage
+            assert b.retries == 0 and not b.best_effort
+        plain.close()
+        wrapped.close()
+
+
+class TestFaultyEvaluation:
+    def test_run_completes_under_transient_faults(self, train_set, dev_set):
+        """20% transient faults + retries: the run finishes, nearly every
+        task gets an LLM-derived answer, and a same-seed rerun is
+        identical."""
+
+        def run():
+            llm = ResilientLLM(
+                FaultyLLM(
+                    MockLLM(CHATGPT, seed=1),
+                    FaultPolicy.transient(0.2, seed=13),
+                ),
+                retry=RetryPolicy(max_attempts=4, deadline=None),
+                clock=FakeClock(),
+                seed=13,
+            )
+            purple = make_purple(llm, train_set)
+            report = evaluate_approach(purple, dev_set, limit=30)
+            purple.close()
+            return report
+
+        report = run()
+        assert len(report) == 30
+        assert report.availability >= 0.95
+        assert report.total_retries > 0
+        rerun = run()
+        assert [o.predicted_sql for o in report.outcomes] == [
+            o.predicted_sql for o in rerun.outcomes
+        ]
+        assert report.em == rerun.em

@@ -88,3 +88,80 @@ class TestTokenUsage:
 
     def test_per_query_zero_safe(self):
         assert TokenUsage(5, 5).per_query(0).total_tokens == 0
+
+
+class TestResilienceAccounting:
+    def _corrupted(self, dev_set):
+        """A copy of dev with one example whose gold SQL cannot execute."""
+        from dataclasses import replace
+
+        from repro.spider.dataset import Dataset
+
+        examples = list(dev_set.examples[:6])
+        examples[2] = replace(examples[2], sql="SELECT nope FROM nowhere")
+        return Dataset(
+            name="corrupted-dev",
+            examples=examples,
+            databases=dev_set.databases,
+        )
+
+    def test_gold_failure_recorded_not_raised(self, dev_set):
+        """A broken gold query becomes an eval_error outcome; the run and
+        every later task survive."""
+        corrupted = self._corrupted(dev_set)
+        report = evaluate_approach(_oracle(dev_set), corrupted, limit=6)
+        assert len(report) == 6
+        assert report.eval_errors == 1
+        bad = report.outcomes[2]
+        assert bad.eval_error is not None
+        assert not bad.ex
+
+    def test_eval_errors_excluded_from_accuracy(self, dev_set):
+        corrupted = self._corrupted(dev_set)
+        report = evaluate_approach(_oracle(dev_set), corrupted, limit=6)
+        # The oracle answers every *well-posed* task perfectly; the broken
+        # gold must not drag EX down.
+        assert len(report.scored()) == 5
+        assert report.ex == 1.0
+        assert report.availability == 1.0
+
+    def test_llm_error_from_approach_keeps_run_alive(self, dev_set):
+        from repro.llm import ServerError
+
+        oracle = _oracle(dev_set)
+        failing_question = dev_set.examples[1].question
+
+        @dataclass
+        class Outage:
+            name: str = "outage"
+
+            def translate(self, task: TranslationTask) -> TranslationResult:
+                if task.question == failing_question:
+                    raise ServerError("provider down")
+                return oracle.translate(task)
+
+        report = evaluate_approach(Outage(), dev_set, limit=5)
+        assert len(report) == 5
+        dropped = report.outcomes[1]
+        assert not dropped.answered
+        assert dropped.predicted_sql == ""
+        assert report.availability == 0.8
+
+    def test_best_effort_counts_against_availability(self, dev_set):
+        @dataclass
+        class Degraded:
+            name: str = "degraded"
+
+            def translate(self, task: TranslationTask) -> TranslationResult:
+                return TranslationResult(
+                    sql="SELECT 1",
+                    degradation_level=3,
+                    retries=2,
+                    best_effort=True,
+                )
+
+        report = evaluate_approach(Degraded(), dev_set, limit=4)
+        assert report.availability == 0.0
+        assert report.total_retries == 8
+        assert report.retries_per_query() == 2.0
+        assert all(o.degradation_level == 3 for o in report.outcomes)

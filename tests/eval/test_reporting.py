@@ -75,3 +75,32 @@ class TestCSV:
         assert len(rows) == 2
         assert rows[0]["approach"] == "purple"
         assert float(rows[0]["em"]) == 0.5
+
+
+class TestResilienceColumns:
+    def test_off_by_default(self, reports):
+        assert "availability" not in summary_rows(reports)[0]
+
+    def test_columns_present_when_enabled(self, reports):
+        rows = summary_rows(reports, include_resilience=True)
+        assert rows[0]["availability"] == 1.0
+        assert rows[0]["retries_per_query"] == 0.0
+        assert rows[0]["eval_errors"] == 0
+
+    def test_degraded_run_surfaces_in_table(self):
+        outcomes = [
+            ExampleOutcome(
+                ex_id="x", hardness="easy", predicted_sql="SELECT 1",
+                em=False, ex=False, answered=False, retries=3,
+            ),
+            ExampleOutcome(
+                ex_id="y", hardness="easy", predicted_sql="SELECT 1",
+                em=True, ex=True, retries=1,
+            ),
+        ]
+        report = EvaluationReport(
+            approach="faulty", dataset="dev", outcomes=outcomes
+        )
+        table = markdown_table({"faulty": report}, include_resilience=True)
+        assert " availability " in table.splitlines()[0]
+        assert "50.0%" in table  # availability rendered as a percentage

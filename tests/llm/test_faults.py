@@ -1,0 +1,150 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.llm import (
+    FaultPolicy,
+    FaultyLLM,
+    LLMError,
+    LLMRequest,
+    LLMResponse,
+    MalformedCompletion,
+    ProviderTimeout,
+    RateLimitError,
+    ServerError,
+    TruncatedCompletion,
+    fault_schedule,
+)
+
+
+class StubLLM:
+    """A provider that always answers and counts its calls."""
+
+    name = "stub"
+
+    def __init__(self, text: str = "SELECT 1"):
+        self.text = text
+        self.calls = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        self.calls += 1
+        return LLMResponse(texts=[self.text], prompt_tokens=10, output_tokens=5)
+
+
+def observed_schedule(policy: FaultPolicy, n: int) -> list:
+    """Drive a live FaultyLLM and record which fault (if any) each call saw."""
+    faulty = FaultyLLM(StubLLM(), policy)
+    kinds = {
+        RateLimitError: "rate_limit",
+        ProviderTimeout: "timeout",
+        ServerError: "server_error",
+        TruncatedCompletion: "truncation",
+        MalformedCompletion: "malformed",
+    }
+    seen = []
+    for _ in range(n):
+        try:
+            faulty.complete(LLMRequest(prompt="q"))
+        except tuple(kinds) as exc:
+            seen.append(kinds[type(exc)])
+        else:
+            seen.append(None)
+    return seen
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_schedule(self):
+        policy = FaultPolicy.transient(0.3, seed=42)
+        assert fault_schedule(policy, 200) == fault_schedule(policy, 200)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPolicy.transient(0.3, seed=1)
+        b = FaultPolicy.transient(0.3, seed=2)
+        assert fault_schedule(a, 200) != fault_schedule(b, 200)
+
+    def test_live_injector_matches_preview(self):
+        """The schedule preview and the live wrapper share draw()."""
+        policy = FaultPolicy.transient(0.25, seed=9)
+        preview = [
+            "server_error" if k == "burst" else k
+            for k in fault_schedule(policy, 150)
+        ]
+        assert observed_schedule(policy, 150) == preview
+
+    def test_rates_approximately_honored(self):
+        policy = FaultPolicy.transient(0.2, seed=3)
+        schedule = fault_schedule(policy, 4000)
+        realized = sum(1 for k in schedule if k is not None) / len(schedule)
+        assert abs(realized - policy.total_rate) < 0.03
+
+    def test_zero_rate_schedule_is_clean(self):
+        assert fault_schedule(FaultPolicy(), 100) == [None] * 100
+
+
+class TestBurstMode:
+    def test_bursts_are_correlated_runs(self):
+        """Once a burst starts, burst_length consecutive calls fail."""
+        policy = FaultPolicy(burst_rate=0.02, burst_length=5, seed=7)
+        schedule = fault_schedule(policy, 3000)
+        assert "burst" in schedule
+        run = 0
+        for kind in schedule + [None]:
+            if kind == "burst":
+                run += 1
+            else:
+                # Back-to-back bursts chain, so runs come in multiples.
+                assert run % policy.burst_length == 0
+                run = 0
+
+    def test_burst_raises_server_error(self):
+        policy = FaultPolicy(burst_rate=1.0, burst_length=2, seed=0)
+        faulty = FaultyLLM(StubLLM(), policy)
+        for _ in range(4):
+            with pytest.raises(ServerError):
+                faulty.complete(LLMRequest(prompt="q"))
+        assert faulty.injected["burst"] == 4
+
+
+class TestFaultyLLM:
+    def test_transparent_when_rates_zero(self):
+        inner = StubLLM()
+        faulty = FaultyLLM(inner)
+        response = faulty.complete(LLMRequest(prompt="q"))
+        assert response.text == "SELECT 1"
+        assert inner.calls == 1
+        assert faulty.injected == {}
+
+    def test_name_forwarded(self):
+        assert FaultyLLM(StubLLM()).name == "stub"
+
+    def test_truncation_carries_partial_text(self):
+        inner = StubLLM(text="SELECT name FROM customer")
+        faulty = FaultyLLM(inner, FaultPolicy(truncation=1.0, seed=0))
+        with pytest.raises(TruncatedCompletion) as info:
+            faulty.complete(LLMRequest(prompt="q"))
+        partial = info.value.partial_text
+        assert partial
+        assert inner.text.startswith(partial)
+        assert len(partial) < len(inner.text)
+
+    def test_rate_limit_carries_retry_after(self):
+        faulty = FaultyLLM(
+            StubLLM(), FaultPolicy(rate_limit=1.0, retry_after=1.5, seed=0)
+        )
+        with pytest.raises(RateLimitError) as info:
+            faulty.complete(LLMRequest(prompt="q"))
+        assert info.value.retry_after == 1.5
+        assert info.value.retryable
+
+    def test_injected_counters_sum_to_faults(self):
+        policy = FaultPolicy.transient(0.4, seed=5)
+        faulty = FaultyLLM(StubLLM(), policy)
+        n = 500
+        for _ in range(n):
+            try:
+                faulty.complete(LLMRequest(prompt="q"))
+            except LLMError:
+                pass
+        expected = sum(1 for k in fault_schedule(policy, n) if k is not None)
+        assert sum(faulty.injected.values()) == expected
+        assert faulty.calls == n

@@ -118,3 +118,81 @@ class TestExecutor:
             key1 = ex.register(db)
             key2 = ex.register(db)
         assert key1 == key2 == "shop"
+
+
+@pytest.fixture
+def big_db():
+    """Enough rows that a 4-way cross join never finishes in test time."""
+    schema = Schema(
+        db_id="big",
+        tables=[
+            Table(name="t", primary_key="id", columns=[Column("id", "integer")])
+        ],
+        foreign_keys=[],
+    )
+    return Database(schema=schema, rows={"t": [(i,) for i in range(300)]})
+
+
+class TestStatementTimeout:
+    def test_pathological_cross_join_times_out(self, big_db):
+        import time as _time
+
+        with SQLiteExecutor(statement_timeout=0.25) as ex:
+            key = ex.register(big_db)
+            started = _time.monotonic()
+            result = ex.execute(key, "SELECT COUNT(*) FROM t a, t b, t c, t d")
+            elapsed = _time.monotonic() - started
+        assert not result.ok
+        assert result.timed_out
+        assert "timeout" in result.error
+        # Interrupted close to the budget, not after the full cross join.
+        assert elapsed < 5.0
+
+    def test_fast_queries_unaffected(self, big_db):
+        with SQLiteExecutor(statement_timeout=0.25) as ex:
+            key = ex.register(big_db)
+            result = ex.execute(key, "SELECT COUNT(*) FROM t")
+        assert result.ok
+        assert result.rows == [(300,)]
+        assert not result.timed_out
+
+    def test_timeout_disabled_with_none(self, big_db):
+        with SQLiteExecutor(statement_timeout=None) as ex:
+            key = ex.register(big_db)
+            result = ex.execute(key, "SELECT MAX(id) FROM t")
+        assert result.ok
+
+
+class TestResultCacheLRU:
+    def test_capacity_bounds_cache(self, db):
+        with SQLiteExecutor(cache_size=2) as ex:
+            key = ex.register(db)
+            for i in range(1, 4):
+                ex.execute(key, f"SELECT {i}")
+            info = ex.cache_info()
+            assert info.size == 2
+            assert info.capacity == 2
+            assert info.misses == 3
+            assert info.hits == 0
+
+    def test_hit_and_miss_counters(self, db):
+        with SQLiteExecutor() as ex:
+            key = ex.register(db)
+            ex.execute(key, "SELECT 1")
+            ex.execute(key, "SELECT 1")
+            ex.execute(key, "SELECT 2")
+            info = ex.cache_info()
+        assert info.hits == 1
+        assert info.misses == 2
+
+    def test_eviction_is_least_recently_used(self, db):
+        with SQLiteExecutor(cache_size=2) as ex:
+            key = ex.register(db)
+            first = ex.execute(key, "SELECT 1")
+            ex.execute(key, "SELECT 2")
+            assert ex.execute(key, "SELECT 1") is first  # refreshes recency
+            ex.execute(key, "SELECT 3")  # evicts "SELECT 2"
+            assert ex.execute(key, "SELECT 1") is first
+            recomputed = ex.execute(key, "SELECT 2")
+            assert recomputed.rows == [(2,)]
+            assert ex.cache_info().misses == 4  # 1, 2, 3, and 2 again

@@ -1,0 +1,41 @@
+"""Keep the library free of blanket exception handlers.
+
+Broad handlers are how provider faults and real bugs get silently
+swallowed; the typed :mod:`repro.llm.errors` taxonomy exists so callers
+can catch exactly what they mean.  A deliberate broad handler must say
+so with a ``# noqa: broad-except`` marker on the same line.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: ``except:`` or ``except Exception`` (bare, aliased, or in a tuple).
+BROAD = re.compile(r"^\s*except\s*(:|(\(?\s*)?(BaseException|Exception)\b)")
+WAIVER = "# noqa: broad-except"
+
+
+def broad_except_lines():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if BROAD.match(line) and WAIVER not in line:
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}"
+                )
+    return violations
+
+
+class TestNoBroadExcept:
+    def test_src_tree_scanned(self):
+        assert SRC.is_dir()
+        assert sum(1 for _ in SRC.rglob("*.py")) > 50
+
+    def test_no_unwaived_broad_handlers(self):
+        violations = broad_except_lines()
+        assert not violations, (
+            "Broad exception handlers found — catch a narrow type from the "
+            "repro.llm.errors taxonomy (or the relevant library), or mark an "
+            f"intentional one with '{WAIVER}':\n" + "\n".join(violations)
+        )
