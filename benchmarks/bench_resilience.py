@@ -19,7 +19,7 @@ Acceptance targets (ISSUE / DESIGN):
 import pytest
 
 from benchmarks.common import pct, print_table
-from repro.core import Purple, PurpleConfig
+from repro import api
 from repro.eval import evaluate_approach
 from repro.llm import (
     CHATGPT,
@@ -79,7 +79,7 @@ def resilient_purple(zoo, fault_policy, retry_policy, breaker=None):
         clock=TickingClock(),
         seed=FAULT_SEED,
     )
-    pipeline = Purple(llm, PurpleConfig())
+    pipeline = api.create("purple", llm=llm)
     pipeline.classifier = base.classifier
     pipeline.pruner = base.pruner
     pipeline.skeleton_module = base.skeleton_module

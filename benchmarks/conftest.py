@@ -14,14 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.baselines import (
-    C3,
-    DAILSQL,
-    DINSQL,
-    FewShotRandom,
-    PLMSeq2SQL,
-    ZeroShotSQL,
-)
+from repro import api
 from repro.core import Purple, PurpleConfig
 from repro.eval import build_suites_for_dataset, evaluate_approach
 from repro.llm import CHATGPT, GPT4, MockLLM
@@ -68,7 +61,7 @@ class ApproachZoo:
         if key in self._cache:
             return self._cache[key]
         config = PurpleConfig(**overrides)
-        pipeline = Purple(self.llm(profile), config)
+        pipeline = api.create("purple", llm=self.llm(profile), config=config)
         base = self._base_purple.get(profile.name)
         if base is None:
             pipeline.fit(self.corpus.train)
@@ -99,16 +92,26 @@ class ApproachZoo:
             return self._cache[name]
         train = self.corpus.train
         makers = {
-            "zero_chatgpt": lambda: ZeroShotSQL(self.llm(CHATGPT)),
-            "zero_gpt4": lambda: ZeroShotSQL(self.llm(GPT4)),
-            "few_gpt4": lambda: FewShotRandom(self.llm(GPT4), train),
-            "c3_chatgpt": lambda: C3(self.llm(CHATGPT)),
-            "c3_gpt4": lambda: C3(self.llm(GPT4)),
-            "din_chatgpt": lambda: DINSQL(self.llm(CHATGPT), train),
-            "din_gpt4": lambda: DINSQL(self.llm(GPT4), train),
-            "dail_chatgpt": lambda: DAILSQL(self.llm(CHATGPT), train),
-            "dail_gpt4": lambda: DAILSQL(self.llm(GPT4), train),
-            "plm": lambda: PLMSeq2SQL(train),
+            "zero_chatgpt": lambda: api.create("zero", llm=self.llm(CHATGPT)),
+            "zero_gpt4": lambda: api.create("zero", llm=self.llm(GPT4)),
+            "few_gpt4": lambda: api.create(
+                "few", llm=self.llm(GPT4), train=train
+            ),
+            "c3_chatgpt": lambda: api.create("c3", llm=self.llm(CHATGPT)),
+            "c3_gpt4": lambda: api.create("c3", llm=self.llm(GPT4)),
+            "din_chatgpt": lambda: api.create(
+                "din", llm=self.llm(CHATGPT), train=train
+            ),
+            "din_gpt4": lambda: api.create(
+                "din", llm=self.llm(GPT4), train=train
+            ),
+            "dail_chatgpt": lambda: api.create(
+                "dail", llm=self.llm(CHATGPT), train=train
+            ),
+            "dail_gpt4": lambda: api.create(
+                "dail", llm=self.llm(GPT4), train=train
+            ),
+            "plm": lambda: api.create("plm", train=train),
         }
         self._cache[name] = makers[name]()
         return self._cache[name]

@@ -3,8 +3,7 @@
 Run:  python examples/compare_approaches.py
 """
 
-from repro.baselines import C3, DAILSQL, DINSQL, PLMSeq2SQL, ZeroShotSQL
-from repro.core import Purple, PurpleConfig
+from repro import api
 from repro.eval import evaluate_approach
 from repro.llm import CHATGPT, GPT4, MockLLM
 from repro.spider import GeneratorConfig, generate_benchmark
@@ -25,13 +24,16 @@ def main() -> None:
 
     print("Building approaches ...")
     approaches = [
-        ZeroShotSQL(MockLLM(CHATGPT, seed=1)),
-        C3(MockLLM(CHATGPT, seed=1), consistency_n=10),
-        DINSQL(MockLLM(GPT4, seed=1), train),
-        DAILSQL(MockLLM(GPT4, seed=1), train, consistency_n=5),
-        PLMSeq2SQL(train),
-        Purple(MockLLM(CHATGPT, seed=1), PurpleConfig(consistency_n=10)).fit(train),
-        Purple(MockLLM(GPT4, seed=1), PurpleConfig(consistency_n=10)).fit(train),
+        api.create("zero", llm=MockLLM(CHATGPT, seed=1)),
+        api.create("c3", llm=MockLLM(CHATGPT, seed=1), consistency_n=10),
+        api.create("din", llm=MockLLM(GPT4, seed=1), train=train),
+        api.create("dail", llm=MockLLM(GPT4, seed=1), train=train,
+                   consistency_n=5),
+        api.create("plm", train=train),
+        api.create("purple", llm=MockLLM(CHATGPT, seed=1), train=train,
+                   consistency_n=10),
+        api.create("purple", llm=MockLLM(GPT4, seed=1), train=train,
+                   consistency_n=10),
     ]
 
     print(f"\n{'Approach':24s} {'EM':>6s} {'EX':>6s} {'tokens/q':>9s}")

@@ -1,0 +1,65 @@
+"""``repro.api`` — the one stable surface for constructing approaches.
+
+Everything that translates NL to SQL behind the harness — PURPLE, every
+baseline, and any user-defined approach — implements the
+:class:`Translator` protocol and is constructed by name through the
+registry::
+
+    from repro import api
+
+    purple = api.create("purple", llm=MockLLM(GPT4), train=bench.train)
+    api.available()          # ('c3', 'dail', 'din', 'few', 'plm', 'purple', 'zero')
+
+    @api.register("my-approach")
+    def _make(*, llm=None, train=None, **config):
+        return MyApproach(llm, **config)
+
+``create`` passes ``llm`` (the provider; LLM-free approaches ignore it),
+``train`` (fit immediately when given), and approach-specific
+configuration keywords through to the registered factory.  The CLI, the
+benchmark suite, and the examples all construct approaches exclusively
+through this module, which is enforced by a lint test.
+
+``__all__`` below is the single public export list; anything outside it
+is an implementation detail.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.api.registry import UnknownApproachError, available, create, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.harness import TranslationResult, TranslationTask
+    from repro.spider.dataset import Dataset
+
+__all__ = [
+    "Translator",
+    "UnknownApproachError",
+    "available",
+    "create",
+    "register",
+]
+
+
+@runtime_checkable
+class Translator(Protocol):
+    """The protocol every registered approach satisfies.
+
+    A superset of the harness's minimal ``NL2SQLApproach`` (which only
+    needs ``translate``): translators are also *trainable* — ``fit``
+    prepares the approach from a demonstration pool and returns ``self``
+    so construction chains.  Approaches with nothing to train implement
+    ``fit`` as a no-op.
+    """
+
+    name: str
+
+    def fit(self, demo_pool: "Dataset") -> "Translator":
+        """Prepare the approach from the demonstration pool."""
+        ...
+
+    def translate(self, task: "TranslationTask") -> "TranslationResult":
+        """Translate one NL question to SQL."""
+        ...

@@ -1,0 +1,41 @@
+"""Deprecation shims for the pre-registry constructor signatures.
+
+The approach constructors are keyword-only past the provider argument
+(so the registry can construct them uniformly), but a generation of
+callers passed ``demo_pool`` and friends positionally.
+:func:`absorb_positional` maps such legacy positional arguments onto the
+new keyword-only parameters, emitting a :class:`DeprecationWarning` so
+the old call sites keep working while announcing their retirement.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def absorb_positional(cls_name: str, args: tuple, pairs: tuple) -> tuple:
+    """Overlay legacy positional ``args`` onto keyword-only parameters.
+
+    ``pairs`` is ``((name, current_value), ...)`` in the legacy
+    positional order; the returned tuple carries the final values in the
+    same order.  A positional argument overrides the keyword default; a
+    caller passing both positional and keyword for one parameter gets
+    the positional value (the legacy call could not have done that at
+    all, so no working call changes meaning).
+    """
+    if not args:
+        return tuple(value for _, value in pairs)
+    if len(args) > len(pairs):
+        raise TypeError(
+            f"{cls_name}() takes at most {len(pairs)} positional "
+            f"configuration arguments ({len(args)} given)"
+        )
+    names = ", ".join(name for name, _ in pairs[: len(args)])
+    warnings.warn(
+        f"passing {names} to {cls_name}() positionally is deprecated; "
+        "use keyword arguments (or repro.api.create)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    values = list(args) + [value for _, value in pairs[len(args):]]
+    return tuple(values)

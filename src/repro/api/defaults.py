@@ -1,0 +1,26 @@
+"""Shared constructor defaults for every approach.
+
+One place for the knobs several approaches share, so the registry can
+construct any of them uniformly and the CLI's defaults cannot drift from
+the library's.  Paper-anchored values: the 3072-token prompt budget is
+§V-A4's setting, and the consistency numbers follow the per-approach
+choices in §V.
+"""
+
+from __future__ import annotations
+
+#: Input prompt token budget (PURPLE §V-A4; DAIL-SQL and few-shot too).
+DEFAULT_BUDGET = 3072
+
+#: Self-consistency sample counts per approach family.
+DEFAULT_CONSISTENCY_N = 20
+DEFAULT_DAIL_CONSISTENCY_N = 5
+
+#: Example values rendered per schema column in prompts.
+DEFAULT_VALUES_PER_COLUMN = 2
+
+#: Seed for approach-local randomness (demo shuffling, PLM training).
+DEFAULT_SEED = 0
+
+#: Skeleton candidates the PLM pipeline considers.
+DEFAULT_TOP_K = 3

@@ -8,6 +8,11 @@ No demonstrations, no fine-tuned models.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api.compat import absorb_positional
+from repro.api.defaults import DEFAULT_CONSISTENCY_N, DEFAULT_VALUES_PER_COLUMN
+from repro.api.registry import register
 from repro.core.consistency import consistency_vote
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
@@ -15,6 +20,7 @@ from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
 from repro.schema import Database, Schema, SchemaGraph, SQLiteExecutor
+from repro.spider.dataset import Dataset
 from repro.utils.text import singularize, split_words
 
 C3_INSTRUCTIONS = (
@@ -30,14 +36,27 @@ class C3:
     def __init__(
         self,
         llm: LLM,
-        consistency_n: int = 20,
-        values_per_column: int = 2,
+        *args,
+        consistency_n: int = DEFAULT_CONSISTENCY_N,
+        values_per_column: int = DEFAULT_VALUES_PER_COLUMN,
     ):
+        consistency_n, values_per_column = absorb_positional(
+            "C3",
+            args,
+            (
+                ("consistency_n", consistency_n),
+                ("values_per_column", values_per_column),
+            ),
+        )
         self.llm = llm
         self.consistency_n = consistency_n
         self.values_per_column = values_per_column
         self.name = f"C3({llm.name})"
         self.executor = SQLiteExecutor()
+
+    def fit(self, demo_pool: Optional[Dataset] = None) -> "C3":
+        """No-op — C3 is zero-shot by design."""
+        return self
 
     def translate(self, task: TranslationTask) -> TranslationResult:
         """Translate one NL question to SQL (NL2SQLApproach protocol)."""
@@ -106,3 +125,17 @@ def lexical_prune(question: str, database: Database) -> Schema:
     keep = {t: [c.key for c in schema.table(t).columns] for t in kept}
     pruned = schema.subset(keep)
     return pruned if pruned.tables else schema
+
+
+@register("c3")
+def _make_c3(*, llm=None, train=None, budget=None, consistency_n=None,
+             seed=None, **config):
+    """C3 ignores budget/seed; ``train`` is accepted but unused."""
+    approach = C3(
+        llm,
+        consistency_n=(
+            DEFAULT_CONSISTENCY_N if consistency_n is None else consistency_n
+        ),
+        **config,
+    )
+    return approach.fit(train) if train is not None else approach

@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.compat import absorb_positional
+from repro.api.defaults import DEFAULT_BUDGET, DEFAULT_DAIL_CONSISTENCY_N
+from repro.api.registry import register
 from repro.core.prompt import PromptBuilder
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
@@ -60,10 +63,20 @@ class DAILSQL:
     def __init__(
         self,
         llm: LLM,
+        *args,
         demo_pool: Optional[Dataset] = None,
-        budget: int = 3072,
-        consistency_n: int = 5,
+        budget: int = DEFAULT_BUDGET,
+        consistency_n: int = DEFAULT_DAIL_CONSISTENCY_N,
     ):
+        demo_pool, budget, consistency_n = absorb_positional(
+            "DAILSQL",
+            args,
+            (
+                ("demo_pool", demo_pool),
+                ("budget", budget),
+                ("consistency_n", consistency_n),
+            ),
+        )
         self.llm = llm
         self.budget = budget
         self.consistency_n = consistency_n
@@ -155,3 +168,19 @@ class DAILSQL:
             retries=retries,
             events=tuple(events),
         )
+
+
+@register("dail")
+def _make_dail(*, llm=None, train=None, budget=None, consistency_n=None,
+               seed=None, **config):
+    """DAIL-SQL's selection is deterministic, so ``seed`` is unused."""
+    approach = DAILSQL(
+        llm,
+        budget=DEFAULT_BUDGET if budget is None else budget,
+        consistency_n=(
+            DEFAULT_DAIL_CONSISTENCY_N if consistency_n is None
+            else consistency_n
+        ),
+        **config,
+    )
+    return approach.fit(train) if train is not None else approach

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.compat import absorb_positional
+from repro.api.registry import register
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
 from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
@@ -46,7 +48,10 @@ _PATTERN_FAMILIES = (
 class DINSQL:
     """Few-shot CoT with a fixed demonstration set and self-correction."""
 
-    def __init__(self, llm: LLM, demo_pool: Optional[Dataset] = None):
+    def __init__(self, llm: LLM, *args, demo_pool: Optional[Dataset] = None):
+        (demo_pool,) = absorb_positional(
+            "DINSQL", args, (("demo_pool", demo_pool),)
+        )
         self.llm = llm
         self.name = f"DIN-SQL({llm.name})"
         self._static_demos: list = []
@@ -133,3 +138,11 @@ class DINSQL:
             retries=retries_so_far(self.llm) - retries_before,
             events=tuple(events),
         )
+
+
+@register("din")
+def _make_din(*, llm=None, train=None, budget=None, consistency_n=None,
+              seed=None, **config):
+    """DIN-SQL's static demo curation ignores the shared tuning knobs."""
+    approach = DINSQL(llm, **config)
+    return approach.fit(train) if train is not None else approach

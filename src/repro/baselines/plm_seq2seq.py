@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.compat import absorb_positional
+from repro.api.defaults import DEFAULT_SEED, DEFAULT_TOP_K
+from repro.api.registry import register
 from repro.core.pruning import SchemaPruner
 from repro.core.skeleton_prediction import SkeletonPredictionModule
 from repro.eval.cost import TokenUsage
@@ -49,8 +52,13 @@ PLM_PROFILE = LLMProfile(
 class PLMSeq2SQL:
     """A fine-tuned seq2seq pipeline without any LLM."""
 
-    def __init__(self, demo_pool: Optional[Dataset] = None, seed: int = 0,
-                 top_k: int = 3):
+    def __init__(self, *args, demo_pool: Optional[Dataset] = None,
+                 seed: int = DEFAULT_SEED, top_k: int = DEFAULT_TOP_K):
+        demo_pool, seed, top_k = absorb_positional(
+            "PLMSeq2SQL",
+            args,
+            (("demo_pool", demo_pool), ("seed", seed), ("top_k", top_k)),
+        )
         self.name = "PLM-seq2seq"
         self.seed = seed
         self.top_k = top_k
@@ -115,3 +123,13 @@ class PLMSeq2SQL:
         weights = dict(zip(archetype.realizations, archetype.gold_weights))
         best = max(built, key=lambda b: weights.get(b[0], 0.0))
         return render_sql(best[1])
+
+
+@register("plm")
+def _make_plm(*, llm=None, train=None, budget=None, consistency_n=None,
+              seed=None, **config):
+    """The PLM pipeline is LLM-free; ``llm``/budget/consistency are unused."""
+    approach = PLMSeq2SQL(
+        seed=DEFAULT_SEED if seed is None else seed, **config
+    )
+    return approach.fit(train) if train is not None else approach

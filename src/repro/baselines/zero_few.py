@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.compat import absorb_positional
+from repro.api.defaults import (
+    DEFAULT_BUDGET,
+    DEFAULT_SEED,
+    DEFAULT_VALUES_PER_COLUMN,
+)
+from repro.api.registry import register
 from repro.core.prompt import PromptBuilder
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
@@ -23,10 +30,22 @@ from repro.utils.rng import derive_rng, stable_hash
 class ZeroShotSQL:
     """Plain zero-shot prompting: schema + question, one completion."""
 
-    def __init__(self, llm: LLM, values_per_column: int = 2):
+    def __init__(
+        self,
+        llm: LLM,
+        *args,
+        values_per_column: int = DEFAULT_VALUES_PER_COLUMN,
+    ):
+        (values_per_column,) = absorb_positional(
+            "ZeroShotSQL", args, (("values_per_column", values_per_column),)
+        )
         self.llm = llm
         self.values_per_column = values_per_column
         self.name = f"ZeroShot({llm.name})"
+
+    def fit(self, demo_pool: Optional[Dataset] = None) -> "ZeroShotSQL":
+        """No-op — zero-shot prompting has nothing to train."""
+        return self
 
     def translate(self, task: TranslationTask) -> TranslationResult:
         """Translate one NL question to SQL (NL2SQLApproach protocol)."""
@@ -62,10 +81,16 @@ class FewShotRandom:
     def __init__(
         self,
         llm: LLM,
+        *args,
         demo_pool: Optional[Dataset] = None,
-        budget: int = 3072,
-        seed: int = 0,
+        budget: int = DEFAULT_BUDGET,
+        seed: int = DEFAULT_SEED,
     ):
+        demo_pool, budget, seed = absorb_positional(
+            "FewShotRandom",
+            args,
+            (("demo_pool", demo_pool), ("budget", budget), ("seed", seed)),
+        )
         self.llm = llm
         self.budget = budget
         self.seed = seed
@@ -115,3 +140,23 @@ class FewShotRandom:
             retries=retries,
             events=outcome.events,
         )
+
+
+@register("zero")
+def _make_zero(*, llm=None, train=None, budget=None, consistency_n=None,
+               seed=None, **config):
+    """ZeroShotSQL ignores the shared budget/consistency/seed knobs."""
+    approach = ZeroShotSQL(llm, **config)
+    return approach.fit(train) if train is not None else approach
+
+
+@register("few")
+def _make_few(*, llm=None, train=None, budget=None, consistency_n=None,
+              seed=None, **config):
+    approach = FewShotRandom(
+        llm,
+        budget=DEFAULT_BUDGET if budget is None else budget,
+        seed=DEFAULT_SEED if seed is None else seed,
+        **config,
+    )
+    return approach.fit(train) if train is not None else approach

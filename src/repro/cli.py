@@ -50,52 +50,60 @@ def _load(path: str) -> Dataset:
     return Dataset.load(path)
 
 
-def _build_approach(name: str, llm_name: str, train: Dataset, budget: int,
-                    consistency: int):
-    from repro.baselines import (
-        C3,
-        DAILSQL,
-        DINSQL,
-        FewShotRandom,
-        PLMSeq2SQL,
-        ZeroShotSQL,
-    )
-    from repro.core import Purple, PurpleConfig
-    from repro.llm import MockLLM, profile_by_name
+def _make_llm(llm_name: str, cache_dir=None):
+    """The provider stack: mock LLM, optionally behind the prompt cache."""
+    from repro.llm import CachingLLM, MockLLM, PromptCache, profile_by_name
 
-    if name == "plm":
-        return PLMSeq2SQL(train)
     llm = MockLLM(profile_by_name(llm_name))
-    if name == "purple":
-        config = PurpleConfig(input_budget=budget, consistency_n=consistency)
-        return Purple(llm, config).fit(train)
-    if name == "zero":
-        return ZeroShotSQL(llm)
-    if name == "few":
-        return FewShotRandom(llm, train, budget=budget)
-    if name == "c3":
-        return C3(llm, consistency_n=consistency)
-    if name == "din":
-        return DINSQL(llm, train)
-    if name == "dail":
-        return DAILSQL(llm, train, budget=budget)
-    raise SystemExit(f"unknown approach {name!r}")
+    if cache_dir is not None:
+        llm = CachingLLM(llm, cache=PromptCache(cache_dir=cache_dir))
+    return llm
+
+
+def _build_approach(name: str, llm, train: Dataset, budget: int,
+                    consistency: int):
+    from repro import api
+
+    try:
+        return api.create(
+            name, llm=llm, train=train, budget=budget,
+            consistency_n=consistency,
+        )
+    except api.UnknownApproachError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.eval import evaluate_approach
+    from repro.eval import evaluate_approach, performance_summary
 
     train = _load(args.train)
     dev = _load(args.dev)
     print(f"Training {args.approach} ({args.llm}) on {len(train)} demos ...")
+    llm = _make_llm(args.llm, cache_dir=args.cache_dir)
     approach = _build_approach(
-        args.approach, args.llm, train, args.budget, args.consistency
+        args.approach, llm, train, args.budget, args.consistency
     )
-    report = evaluate_approach(approach, dev, limit=args.limit)
+    report = evaluate_approach(
+        approach, dev, limit=args.limit, workers=args.workers
+    )
     print(
         f"{approach.name}: EM {report.em:.1%}  EX {report.ex:.1%}  "
         f"tokens/query {report.tokens_per_query()}  (n={len(report)})"
     )
+    perf = performance_summary(report)
+    if perf:
+        print(
+            f"  workers {perf['workers']}  wall {perf['wall_time_s']}s  "
+            f"throughput {perf['throughput_qps']} q/s  "
+            f"p50 {perf['latency_p50_s']}s  p95 {perf['latency_p95_s']}s"
+        )
+    if args.cache_dir is not None:
+        info = llm.stats()
+        print(
+            f"  prompt cache: {info.hits} hits / "
+            f"{info.hits + info.misses} lookups "
+            f"(hit rate {info.hit_rate:.1%})"
+        )
     if args.by_hardness:
         for metric in ("em", "ex"):
             print(f"  {metric.upper()} by hardness:", {
@@ -113,8 +121,8 @@ def _cmd_translate(args) -> int:
         raise SystemExit(
             f"unknown db_id {args.db_id!r}; available: {dev.db_ids()}"
         )
-    approach = _build_approach("purple", args.llm, train, args.budget,
-                               args.consistency)
+    approach = _build_approach("purple", _make_llm(args.llm), train,
+                               args.budget, args.consistency)
     result = approach.translate(
         TranslationTask(question=args.question, database=dev.database(args.db_id))
     )
@@ -148,17 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--dev-per-db", type=int, default=50)
     g.set_defaults(func=_cmd_generate)
 
+    from repro.api import available
+
     e = sub.add_parser("evaluate", help="train an approach and score it")
     e.add_argument("--train", default="corpus/train.json")
     e.add_argument("--dev", default="corpus/dev.json")
     e.add_argument(
-        "--approach", default="purple",
-        choices=["purple", "zero", "few", "c3", "din", "dail", "plm"],
+        "--approach", default="purple", choices=list(available()),
     )
     e.add_argument("--llm", default="chatgpt", choices=["chatgpt", "gpt4"])
     e.add_argument("--budget", type=int, default=3072)
     e.add_argument("--consistency", type=int, default=30)
     e.add_argument("--limit", type=int, default=None)
+    e.add_argument(
+        "--workers", type=int, default=1,
+        help="evaluation thread-pool size (results are identical "
+             "for any value)",
+    )
+    e.add_argument(
+        "--cache-dir", default=None,
+        help="persist the prompt cache here; a re-run served from a "
+             "warm cache skips the provider entirely",
+    )
     e.add_argument("--by-hardness", action="store_true")
     e.set_defaults(func=_cmd_evaluate)
 

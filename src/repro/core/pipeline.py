@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.registry import register
 from repro.core.adaption import DatabaseAdapter
 from repro.core.automaton import AutomatonIndex
 from repro.core.config import PurpleConfig
@@ -26,6 +27,7 @@ from repro.core.skeleton_prediction import (
 )
 from repro.eval.cost import TokenUsage
 from repro.eval.harness import TranslationResult, TranslationTask
+from repro.eval.timing import stage
 from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
@@ -96,24 +98,27 @@ class Purple:
         )
 
         # Step 1 — schema pruning.
-        if cfg.use_pruning:
-            schema = self.pruner.prune(task.question, task.database)
-        else:
-            schema = task.database.schema
-        schema_text = render_schema(
-            task.database, schema, values_per_column=cfg.values_per_column
-        )
+        with stage("prune"):
+            if cfg.use_pruning:
+                schema = self.pruner.prune(task.question, task.database)
+            else:
+                schema = task.database.schema
+            schema_text = render_schema(
+                task.database, schema, values_per_column=cfg.values_per_column
+            )
 
         # Step 2 — skeleton prediction (or the oracle override).
-        skeletons = self._predict_skeletons(task, schema)
+        with stage("skeleton"):
+            skeletons = self._predict_skeletons(task, schema)
 
         # Step 3 — demonstration selection.
-        if cfg.use_selection and skeletons:
-            demo_order = select_demonstrations(
-                self.automaton, skeletons, cfg, rng=rng
-            )
-        else:
-            demo_order = []
+        with stage("select"):
+            if cfg.use_selection and skeletons:
+                demo_order = select_demonstrations(
+                    self.automaton, skeletons, cfg, rng=rng
+                )
+            else:
+                demo_order = []
 
         # Step 3b — generation-based prompting (§VII future work): when
         # retrieval found nothing at the fine-grained levels, synthesize a
@@ -170,14 +175,15 @@ class Purple:
             )
 
         retries_before = retries_so_far(self.llm)
-        outcome = run_ladder(
-            self.llm,
-            [
-                lambda: LLMRequest(prompt=prompt, n=cfg.consistency_n),
-                _half_budget_request,
-                _zero_shot_request,
-            ],
-        )
+        with stage("llm"):
+            outcome = run_ladder(
+                self.llm,
+                [
+                    lambda: LLMRequest(prompt=prompt, n=cfg.consistency_n),
+                    _half_budget_request,
+                    _zero_shot_request,
+                ],
+            )
         retries = retries_so_far(self.llm) - retries_before
         if not outcome.ok:
             return TranslationResult(
@@ -194,14 +200,15 @@ class Purple:
         # Hallucinations are systematic per prompt, so without the repairs
         # the whole vote pool shares the defect — which is exactly why the
         # paper's -Database Adaption ablation costs mostly EX.
-        if cfg.use_adaption:
-            candidates = [
-                self.adapter.adapt(text, task.database).sql
-                for text in response.texts
-            ]
-        else:
-            candidates = list(response.texts)
-        final = consistency_vote(candidates, self.executor, task.database)
+        with stage("adapt"):
+            if cfg.use_adaption:
+                candidates = [
+                    self.adapter.adapt(text, task.database).sql
+                    for text in response.texts
+                ]
+            else:
+                candidates = list(response.texts)
+            final = consistency_vote(candidates, self.executor, task.database)
 
         usage = TokenUsage(
             prompt_tokens=response.prompt_tokens,
@@ -234,3 +241,34 @@ class Purple:
     def close(self) -> None:
         """Release the underlying SQLite resources."""
         self.executor.close()
+
+
+@register("purple")
+def _make_purple(*, llm=None, train=None, budget=None, consistency_n=None,
+                 seed=None, config=None, **overrides):
+    """Build PURPLE; shared knobs map onto :class:`PurpleConfig` fields.
+
+    Pass ``config=PurpleConfig(...)`` to take full control (the shared
+    knobs must then be omitted), or pass any ``PurpleConfig`` field as a
+    keyword override.
+    """
+    if config is not None:
+        if budget is not None or consistency_n is not None or seed is not None:
+            raise TypeError(
+                "pass either config= or the budget/consistency_n/seed "
+                "knobs, not both"
+            )
+        if overrides:
+            raise TypeError(
+                "config= and field overrides are mutually exclusive"
+            )
+    else:
+        if budget is not None:
+            overrides["input_budget"] = budget
+        if consistency_n is not None:
+            overrides["consistency_n"] = consistency_n
+        if seed is not None:
+            overrides["seed"] = seed
+        config = PurpleConfig(**overrides)
+    approach = Purple(llm, config)
+    return approach.fit(train) if train is not None else approach

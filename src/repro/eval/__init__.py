@@ -17,13 +17,17 @@ from repro.eval.harness import (
     build_suites_for_dataset,
     evaluate_approach,
 )
+from repro.eval.engine import map_ordered
 from repro.eval.reporting import (
     hardness_table,
     markdown_table,
+    performance_summary,
+    performance_table,
     save_csv,
     summary_rows,
     to_csv,
 )
+from repro.eval.timing import RunTiming, TaskTiming, collect_stages, stage
 from repro.eval.test_suite import (
     TestSuite,
     build_test_suite,
@@ -45,8 +49,15 @@ __all__ = [
     "TranslationTask",
     "build_suites_for_dataset",
     "evaluate_approach",
+    "map_ordered",
+    "RunTiming",
+    "TaskTiming",
+    "collect_stages",
+    "stage",
     "hardness_table",
     "markdown_table",
+    "performance_summary",
+    "performance_table",
     "save_csv",
     "summary_rows",
     "to_csv",

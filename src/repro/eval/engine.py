@@ -1,0 +1,74 @@
+"""Deterministic worker-pool scheduler for evaluation runs.
+
+:func:`map_ordered` applies a task function to every item, optionally on
+a thread pool, and returns results **in item order** — a parallel run
+produces exactly the sequence a serial run would, so reports stay
+byte-identical across worker counts.  Around each call the engine scopes
+the task's *lane* (see :mod:`repro.utils.context`), which task-scoped
+fault policies and other per-task state key on, and installs a stage
+collector so pipeline code instrumented with
+:func:`repro.eval.timing.stage` attributes its wall time to the right
+task.
+
+Threads (not processes) are the right pool here: evaluation tasks spend
+their time waiting on provider round-trips (simulated or real), which
+release the GIL, while the Python-side work per task is small.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.eval.timing import TaskTiming, collect_stages
+from repro.utils.context import task_lane
+
+
+def map_ordered(
+    fn: Callable,
+    items: Sequence,
+    *,
+    workers: int = 1,
+    lane_of: Optional[Callable] = None,
+) -> tuple:
+    """Apply ``fn`` to each item; return ``(results, timings)`` in item order.
+
+    ``workers <= 1`` runs serially on the calling thread — the reference
+    schedule.  With more workers the items are dispatched to a thread
+    pool and the results reassembled into submission order, so the two
+    modes are indistinguishable from the outside.  ``lane_of(item)``
+    names the task's lane (defaults to the item's position); an
+    exception from ``fn`` propagates after the pool drains.
+    """
+    items = list(items)
+    lanes = [
+        str(i) if lane_of is None else lane_of(item)
+        for i, item in enumerate(items)
+    ]
+
+    def run_one(index: int):
+        stages: dict = {}
+        started = time.perf_counter()
+        with task_lane(lanes[index]), collect_stages(stages):
+            value = fn(items[index])
+        latency = time.perf_counter() - started
+        return value, TaskTiming(ex_id=lanes[index], latency=latency, stages=stages)
+
+    results: list = [None] * len(items)
+    timings: list = [None] * len(items)
+    if workers <= 1:
+        for index in range(len(items)):
+            results[index], timings[index] = run_one(index)
+        return results, timings
+
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-eval"
+    ) as pool:
+        futures = {
+            pool.submit(run_one, index): index for index in range(len(items))
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index], timings[index] = future.result()
+    return results, timings

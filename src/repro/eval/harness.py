@@ -7,13 +7,17 @@ which is how the benchmark scripts regenerate the paper's tables.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.eval.cost import TokenUsage
+from repro.eval.engine import map_ordered
 from repro.eval.exact_match import exact_set_match
 from repro.eval.execution import GoldExecutionError, execution_match
 from repro.eval.test_suite import TestSuite, build_test_suite
+from repro.eval.timing import RunTiming, stage
 from repro.llm.errors import LLMError
 from repro.schema import Database, SQLiteExecutor
 from repro.spider.dataset import Dataset
@@ -90,11 +94,17 @@ class ExampleOutcome:
 
 @dataclass
 class EvaluationReport:
-    """Aggregated metrics for one (approach, dataset) run."""
+    """Aggregated metrics for one (approach, dataset) run.
+
+    ``timing`` profiles the run (wall time, per-stage seconds, latency
+    percentiles); it is deliberately separate from ``outcomes``, which
+    stay byte-identical across worker counts.
+    """
 
     approach: str
     dataset: str
     outcomes: list = field(default_factory=list)
+    timing: Optional[RunTiming] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -184,47 +194,69 @@ def evaluate_approach(
     dataset: Dataset,
     test_suites: Optional[dict] = None,
     limit: Optional[int] = None,
+    workers: int = 1,
 ) -> EvaluationReport:
     """Run ``approach`` over ``dataset`` and compute EM/EX (and TS when
-    suites are supplied as ``{db_id: TestSuite}``)."""
+    suites are supplied as ``{db_id: TestSuite}``).
+
+    ``workers`` sizes the thread pool; outcomes are reassembled in task
+    order, so any worker count yields the identical report (timing
+    aside).  Each worker thread scores on its own
+    :class:`~repro.schema.SQLiteExecutor`.
+    """
     report = EvaluationReport(approach=approach.name, dataset=dataset.name)
     examples = dataset.examples[:limit] if limit else dataset.examples
-    with SQLiteExecutor() as executor:
-        for db_id in {ex.db_id for ex in examples}:
-            executor.register(dataset.database(db_id))
-        for example in examples:
-            task = TranslationTask(
-                question=example.question,
-                database=dataset.database(example.db_id),
+    needed_dbs = sorted({ex.db_id for ex in examples})
+
+    # One scoring executor per worker thread, created on first use and
+    # closed when the run is over.
+    thread_state = threading.local()
+    executors: list = []
+    executors_lock = threading.Lock()
+
+    def _executor() -> SQLiteExecutor:
+        executor = getattr(thread_state, "executor", None)
+        if executor is None:
+            executor = SQLiteExecutor()
+            for db_id in needed_dbs:
+                executor.register(dataset.database(db_id))
+            thread_state.executor = executor
+            with executors_lock:
+                executors.append(executor)
+        return executor
+
+    def _evaluate_one(example) -> ExampleOutcome:
+        task = TranslationTask(
+            question=example.question,
+            database=dataset.database(example.db_id),
+        )
+        try:
+            result = approach.translate(task)
+        except LLMError:
+            # An approach without a degradation ladder let a provider
+            # error through: record an unanswered outcome and keep the
+            # run alive rather than losing every task after this one.
+            return ExampleOutcome(
+                ex_id=example.ex_id,
+                hardness=example.hardness,
+                predicted_sql="",
+                em=False,
+                ex=False,
+                answered=False,
+                eval_error=None,
+                retries=0,
             )
-            try:
-                result = approach.translate(task)
-            except LLMError:
-                # An approach without a degradation ladder let a provider
-                # error through: record an unanswered outcome and keep the
-                # run alive rather than losing every task after this one.
-                report.outcomes.append(
-                    ExampleOutcome(
-                        ex_id=example.ex_id,
-                        hardness=example.hardness,
-                        predicted_sql="",
-                        em=False,
-                        ex=False,
-                        answered=False,
-                        eval_error=None,
-                        retries=0,
-                    )
-                )
-                continue
-            em = exact_set_match(example.sql, result.sql)
-            eval_error = None
+        eval_error = None
+        with stage("execute"):
             try:
                 ex = execution_match(
-                    executor, example.db_id, example.sql, result.sql
+                    _executor(), example.db_id, example.sql, result.sql
                 )
             except GoldExecutionError as exc:
                 ex = False
                 eval_error = str(exc)
+        with stage("score"):
+            em = exact_set_match(example.sql, result.sql)
             ts = None
             if (
                 eval_error is None
@@ -232,21 +264,38 @@ def evaluate_approach(
                 and example.db_id in test_suites
             ):
                 ts = test_suites[example.db_id].match(example.sql, result.sql)
-            report.outcomes.append(
-                ExampleOutcome(
-                    ex_id=example.ex_id,
-                    hardness=example.hardness,
-                    predicted_sql=result.sql,
-                    em=em,
-                    ex=ex,
-                    ts=ts,
-                    usage=result.usage,
-                    answered=not result.best_effort,
-                    degradation_level=result.degradation_level,
-                    retries=result.retries,
-                    eval_error=eval_error,
-                )
-            )
+        return ExampleOutcome(
+            ex_id=example.ex_id,
+            hardness=example.hardness,
+            predicted_sql=result.sql,
+            em=em,
+            ex=ex,
+            ts=ts,
+            usage=result.usage,
+            answered=not result.best_effort,
+            degradation_level=result.degradation_level,
+            retries=result.retries,
+            eval_error=eval_error,
+        )
+
+    started = time.perf_counter()
+    try:
+        outcomes, task_timings = map_ordered(
+            _evaluate_one,
+            examples,
+            workers=workers,
+            lane_of=lambda example: example.ex_id,
+        )
+    finally:
+        with executors_lock:
+            for executor in executors:
+                executor.close()
+    report.outcomes = list(outcomes)
+    report.timing = RunTiming(
+        wall_time=time.perf_counter() - started,
+        workers=max(workers, 1),
+        tasks=list(task_timings),
+    )
     return report
 
 

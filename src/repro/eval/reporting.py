@@ -20,6 +20,48 @@ from repro.eval.harness import HARDNESS_ORDER, EvaluationReport
 _METRICS = ("em", "ex", "ts", "availability")
 
 
+def performance_summary(report: EvaluationReport) -> dict:
+    """Wall-clock profile of a run: throughput, latency, stage totals.
+
+    Returns an empty dict for reports without timing (e.g. hand-built
+    ones); stage keys appear in canonical pipeline order.
+    """
+    timing = report.timing
+    if timing is None or not timing.tasks:
+        return {}
+    return {
+        "workers": timing.workers,
+        "tasks": len(timing.tasks),
+        "wall_time_s": round(timing.wall_time, 4),
+        "throughput_qps": round(timing.throughput(), 3),
+        "latency_p50_s": round(timing.latency_percentile(50), 4),
+        "latency_p95_s": round(timing.latency_percentile(95), 4),
+        "stage_totals_s": {
+            name: round(seconds, 4)
+            for name, seconds in timing.stage_totals().items()
+        },
+    }
+
+
+def performance_table(report: EvaluationReport) -> str:
+    """Markdown rendering of :func:`performance_summary` (one run)."""
+    summary = performance_summary(report)
+    if not summary:
+        return ""
+    stages = summary.pop("stage_totals_s")
+    headers = list(summary) + [f"stage:{name}" for name in stages]
+    values = [str(v) for v in summary.values()] + [
+        str(seconds) for seconds in stages.values()
+    ]
+    return "\n".join(
+        [
+            "| " + " | ".join(headers) + " |",
+            "| " + " | ".join("---" for _ in headers) + " |",
+            "| " + " | ".join(values) + " |",
+        ]
+    )
+
+
 def summary_rows(
     reports: dict, include_ts: bool = False, include_resilience: bool = False
 ) -> list:

@@ -20,6 +20,8 @@ simulator* with the properties the paper's argument rests on:
 Profiles calibrate a ChatGPT-like and a GPT4-like model.
 """
 
+from repro.llm.batching import CoalesceStats, CoalescingLLM
+from repro.llm.cache import CacheStats, CachingLLM, PromptCache, request_key
 from repro.llm.degrade import LadderOutcome, best_effort_sql, run_ladder
 from repro.llm.errors import (
     CircuitOpenError,
@@ -32,6 +34,7 @@ from repro.llm.errors import (
 )
 from repro.llm.faults import FaultPolicy, FaultyLLM, fault_schedule
 from repro.llm.interface import LLMRequest, LLMResponse
+from repro.llm.latency import SimulatedLatencyLLM
 from repro.llm.mock_llm import MockLLM
 from repro.llm.resilient import (
     BreakerPolicy,
@@ -70,6 +73,13 @@ __all__ = [
     "FaultPolicy",
     "FaultyLLM",
     "fault_schedule",
+    "CachingLLM",
+    "PromptCache",
+    "CacheStats",
+    "request_key",
+    "CoalescingLLM",
+    "CoalesceStats",
+    "SimulatedLatencyLLM",
     "ResilientLLM",
     "RetryPolicy",
     "RetryStats",

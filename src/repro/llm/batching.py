@@ -1,0 +1,112 @@
+"""Request coalescing — merge identical in-flight completions.
+
+Under the parallel harness, workers frequently issue the *same*
+:class:`~repro.llm.interface.LLMRequest` at the same moment (identical
+ablation cells, repeated questions, shared zero-shot rungs).  Paying the
+provider once per distinct request is enough: the first caller (the
+*leader*) performs the inner call while followers block on an event and
+receive the same response.  With the deterministic providers in this
+repository the merged response is byte-identical to what each follower
+would have computed itself, so coalescing never changes results.
+
+Error semantics: an :class:`~repro.llm.errors.LLMError` raised by the
+leader's call is re-raised in every follower — the merged request failed
+for all of them.  If the leader dies with a *non*-LLM error, followers
+fall back to issuing the call themselves rather than inheriting a bug's
+blast radius.
+
+Compose *inside* any fault-injection wrapper (coalescer closest to the
+clean provider) — merging calls upstream of a seeded fault schedule
+would change which call index each task draws.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.llm.cache import request_key
+from repro.llm.errors import LLMError
+from repro.llm.interface import LLM, LLMRequest, LLMResponse
+
+
+@dataclass(frozen=True)
+class CoalesceStats:
+    """How many requests were led vs merged into another in flight."""
+
+    requests: int = 0
+    leads: int = 0
+    merged: int = 0
+    follower_retries: int = 0
+
+
+class _InFlight:
+    """One leader's pending completion, awaited by followers."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: Optional[LLMResponse] = None
+        self.error: Optional[LLMError] = None
+
+
+class CoalescingLLM:
+    """Deduplicate identical concurrent requests to the inner provider."""
+
+    def __init__(self, inner: LLM):
+        self.inner = inner
+        self.name = inner.name
+        self._inflight: dict[str, _InFlight] = {}
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._leads = 0
+        self._merged = 0
+        self._follower_retries = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Lead the first in-flight copy of a request; join any later ones."""
+        key = request_key(request, self.name)
+        with self._lock:
+            self._requests += 1
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                self._leads += 1
+                leader = True
+            else:
+                self._merged += 1
+                leader = False
+        if leader:
+            try:
+                entry.response = self.inner.complete(request)
+            except LLMError as exc:
+                entry.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                entry.event.set()
+            return entry.response
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        if entry.response is None:
+            # The leader died with a non-LLM error; don't inherit it —
+            # make the call independently.
+            with self._lock:
+                self._follower_retries += 1
+            return self.inner.complete(request)
+        return entry.response
+
+    def stats(self) -> CoalesceStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CoalesceStats(
+                requests=self._requests,
+                leads=self._leads,
+                merged=self._merged,
+                follower_retries=self._follower_retries,
+            )

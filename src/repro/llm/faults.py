@@ -13,10 +13,20 @@ Faults are *transient*: a retry is a new call with a fresh draw, so a
 models correlated outages — once a burst starts, the next
 ``burst_length`` calls all fail with :class:`ServerError`, which is what
 trips circuit breakers in practice.
+
+Two scheduling scopes exist.  The default ``scope="call"`` keys the
+schedule to the provider-wide call counter — the realistic model (an
+outage does not care which task is calling), bit-compatible with every
+pre-existing bench.  ``scope="task"`` keys it to the evaluating task's
+lane (see :mod:`repro.utils.context`) and a per-lane call index, so the
+faults a task sees are a pure function of the task rather than of
+thread interleaving — the property the parallel harness needs for
+``workers=N`` runs to be byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,6 +38,7 @@ from repro.llm.errors import (
     TruncatedCompletion,
 )
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.utils.context import current_task_lane
 from repro.utils.rng import derive_rng
 
 #: Order in which per-fault rates claim the uniform draw (cumulative).
@@ -50,6 +61,9 @@ class FaultPolicy:
     #: ``retry_after`` hint attached to injected rate-limit errors.
     retry_after: Optional[float] = None
     seed: int = 0
+    #: "call" keys the schedule to the global call counter; "task" keys
+    #: it to the current task lane plus a per-lane index.
+    scope: str = "call"
 
     @classmethod
     def transient(cls, rate: float, seed: int = 0, **overrides) -> "FaultPolicy":
@@ -73,14 +87,19 @@ class FaultPolicy:
             + self.malformed
         )
 
-    def draw(self, index: int, burst_remaining: int) -> tuple:
+    def draw(self, index: int, burst_remaining: int, lane: Optional[str] = None) -> tuple:
         """The fault kind for call ``index`` (or None) and the next burst state.
 
-        Pure function of ``(seed, index, burst_remaining)`` — both
+        Pure function of ``(seed, lane, index, burst_remaining)`` — both
         :class:`FaultyLLM` and :func:`fault_schedule` go through here, so
-        the preview always matches the live injector.
+        the preview always matches the live injector.  ``lane`` is None
+        in call scope; in task scope it partitions the schedule so each
+        task draws from its own seeded stream.
         """
-        rng = derive_rng(self.seed, "fault", index)
+        if lane is None:
+            rng = derive_rng(self.seed, "fault", index)
+        else:
+            rng = derive_rng(self.seed, "fault", lane, index)
         burst_u = rng.random()
         fault_u = rng.random()
         if burst_remaining > 0:
@@ -95,15 +114,17 @@ class FaultPolicy:
         return None, 0
 
 
-def fault_schedule(policy: FaultPolicy, n: int) -> list:
+def fault_schedule(policy: FaultPolicy, n: int, lane: Optional[str] = None) -> list:
     """The first ``n`` entries of the policy's fault schedule.
 
     Each entry is a kind from :data:`FAULT_KINDS`, ``"burst"``, or None.
+    Pass ``lane`` to preview one task's stream under a task-scoped
+    policy.
     """
     schedule = []
     burst_remaining = 0
     for index in range(n):
-        kind, burst_remaining = policy.draw(index, burst_remaining)
+        kind, burst_remaining = policy.draw(index, burst_remaining, lane=lane)
         schedule.append(kind)
     return schedule
 
@@ -123,17 +144,38 @@ class FaultyLLM:
         self.calls = 0
         self.injected: dict = {}
         self._burst_remaining = 0
+        self._lane_calls: dict = {}
+        self._lane_burst: dict = {}
+        self._lock = threading.Lock()
+
+    def _next_fault(self) -> tuple:
+        """Advance the schedule one call; return (kind, schedule index)."""
+        lane = (
+            current_task_lane() if self.policy.scope == "task" else None
+        )
+        with self._lock:
+            self.calls += 1
+            if lane is None:
+                index = self.calls - 1
+                kind, self._burst_remaining = self.policy.draw(
+                    index, self._burst_remaining
+                )
+            else:
+                index = self._lane_calls.get(lane, 0)
+                self._lane_calls[lane] = index + 1
+                kind, next_burst = self.policy.draw(
+                    index, self._lane_burst.get(lane, 0), lane=lane
+                )
+                self._lane_burst[lane] = next_burst
+            if kind is not None:
+                self.injected[kind] = self.injected.get(kind, 0) + 1
+        return kind, index
 
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Forward to the inner LLM unless this call's schedule says fault."""
-        index = self.calls
-        self.calls += 1
-        kind, self._burst_remaining = self.policy.draw(
-            index, self._burst_remaining
-        )
+        kind, index = self._next_fault()
         if kind is None:
             return self.inner.complete(request)
-        self.injected[kind] = self.injected.get(kind, 0) + 1
         if kind == "burst":
             raise ServerError(f"simulated correlated outage (call {index})")
         if kind == "rate_limit":

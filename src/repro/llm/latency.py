@@ -1,0 +1,59 @@
+"""Deterministic provider-latency simulation.
+
+The simulated providers answer instantly, which makes every throughput
+measurement meaningless: a real deployment spends most of its wall time
+waiting on the network, and that wait — not Python compute — is what a
+worker pool overlaps.  :class:`SimulatedLatencyLLM` restores the missing
+ingredient: each ``complete`` call sleeps a deterministic per-request
+delay (base latency plus seeded jitter derived from the prompt) before
+delegating, through an injectable clock so tests can use
+:class:`~repro.llm.resilient.FakeClock` and sleep zero real seconds.
+
+``time.sleep`` releases the GIL, so N workers overlap N simulated
+round-trips exactly as they would overlap real HTTP calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.llm.resilient import Clock, SystemClock
+from repro.utils.rng import derive_rng, stable_hash
+
+
+class SimulatedLatencyLLM:
+    """Add per-call latency (``base`` ± uniform ``jitter``) to an inner LLM."""
+
+    def __init__(
+        self,
+        inner: LLM,
+        base: float = 0.03,
+        jitter: float = 0.0,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+    ):
+        self.inner = inner
+        self.base = base
+        self.jitter = jitter
+        self.seed = seed
+        self.clock = clock or SystemClock()
+        self.name = inner.name
+        self.calls = 0
+        self.total_delay = 0.0
+
+    def delay_for(self, request: LLMRequest) -> float:
+        """The deterministic delay this request pays (prompt-derived)."""
+        if self.jitter <= 0.0:
+            return self.base
+        rng = derive_rng(self.seed, "latency", stable_hash(request.prompt))
+        return self.base + self.jitter * (2.0 * rng.random() - 1.0)
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Sleep the simulated round-trip, then delegate."""
+        delay = max(self.delay_for(request), 0.0)
+        self.calls += 1
+        self.total_delay += delay
+        if delay > 0.0:
+            self.clock.sleep(delay)
+        return self.inner.complete(request)

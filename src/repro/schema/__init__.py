@@ -5,6 +5,7 @@ from repro.schema.model import Column, Database, ForeignKey, Schema, Table
 from repro.schema.sqlite_backend import (
     CacheInfo,
     ExecutionResult,
+    ExecutorStats,
     SQLiteExecutor,
     create_sqlite,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "SchemaGraph",
     "CacheInfo",
     "ExecutionResult",
+    "ExecutorStats",
     "SQLiteExecutor",
     "create_sqlite",
 ]

@@ -13,6 +13,7 @@ hit/miss counters so long benchmark runs hold steady memory.
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -55,8 +56,13 @@ def _row_sort_key(row: tuple):
 
 
 def create_sqlite(database: Database, path: str = ":memory:") -> sqlite3.Connection:
-    """Materialize a :class:`Database` into a SQLite connection."""
-    conn = sqlite3.connect(path)
+    """Materialize a :class:`Database` into a SQLite connection.
+
+    The connection is created with ``check_same_thread=False`` so an
+    executor's internal lock — not sqlite3's import-thread check — is
+    what serializes cross-thread use.
+    """
+    conn = sqlite3.connect(path, check_same_thread=False)
     conn.execute("PRAGMA foreign_keys = OFF")
     for table in database.schema.tables:
         cols = []
@@ -86,6 +92,30 @@ class CacheInfo:
     capacity: int = 0
 
 
+@dataclass(frozen=True)
+class ExecutorStats:
+    """A consistent snapshot of an executor's counters.
+
+    ``executed`` counts statements that actually ran against SQLite
+    (cache misses); ``timeouts`` counts statement-timeout interrupts
+    among them.  The cache fields mirror :class:`CacheInfo`.
+    """
+
+    executed: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_size: int = 0
+    cache_capacity: int = 0
+    databases: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
 class SQLiteExecutor:
     """Executes SQL against materialized databases with connection caching.
 
@@ -93,6 +123,13 @@ class SQLiteExecutor:
     are materialized lazily and kept in memory.  ``statement_timeout``
     (seconds, None disables) interrupts long-running statements via a
     SQLite progress handler; ``cache_size`` bounds the LRU result cache.
+
+    The instance is thread-safe: an internal lock serializes connection
+    creation, statement execution, and LRU cache mutation, so one
+    executor can back concurrently-translating workers (the parallel
+    harness additionally gives each worker its own instance to avoid
+    serializing the scoring hot path).  Counters are read consistently
+    through :meth:`stats`.
     """
 
     #: VM instructions between progress-handler timeout checks.
@@ -109,46 +146,73 @@ class SQLiteExecutor:
         self.cache_size = cache_size
         self._connections: dict[str, sqlite3.Connection] = {}
         self._cache: OrderedDict[tuple[str, str], ExecutionResult] = OrderedDict()
+        self._lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.executed = 0
+        self.timeouts = 0
 
     def register(self, database: Database, key: Optional[str] = None) -> str:
         """Materialize a database and return its registry key."""
         key = key or database.db_id
-        if key not in self._connections:
-            self._connections[key] = create_sqlite(database)
+        with self._lock:
+            if key not in self._connections:
+                self._connections[key] = create_sqlite(database)
         return key
 
     def has(self, key: str) -> bool:
         """Whether a database is registered under this key."""
-        return key in self._connections
+        with self._lock:
+            return key in self._connections
 
     def execute(self, key: str, sql: str) -> ExecutionResult:
         """Execute SQL against a registered database (LRU-cached)."""
         cache_key = (key, sql)
-        cached = self._cache.get(cache_key)
-        if cached is not None:
-            self.cache_hits += 1
-            self._cache.move_to_end(cache_key)
-            return cached
-        self.cache_misses += 1
-        conn = self._connections.get(key)
-        if conn is None:
-            result = ExecutionResult(error=f"unknown database {key!r}")
-        else:
-            result = self._run(conn, sql)
-        self._cache[cache_key] = result
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-        return result
+        with self._lock:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(cache_key)
+                return cached
+            self.cache_misses += 1
+            self.executed += 1
+            conn = self._connections.get(key)
+            if conn is None:
+                result = ExecutionResult(error=f"unknown database {key!r}")
+            else:
+                result = self._run(conn, sql)
+            if result.timed_out:
+                self.timeouts += 1
+            self._cache[cache_key] = result
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            return result
+
+    def stats(self) -> ExecutorStats:
+        """A consistent snapshot of execution and cache counters."""
+        with self._lock:
+            return ExecutorStats(
+                executed=self.executed,
+                timeouts=self.timeouts,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_size=len(self._cache),
+                cache_capacity=self.cache_size,
+                databases=len(self._connections),
+            )
 
     def cache_info(self) -> CacheInfo:
-        """Current hit/miss counters and cache occupancy."""
+        """Current hit/miss counters and cache occupancy.
+
+        Kept for pre-:meth:`stats` callers; new code should prefer the
+        fuller :meth:`stats` snapshot.
+        """
+        snapshot = self.stats()
         return CacheInfo(
-            hits=self.cache_hits,
-            misses=self.cache_misses,
-            size=len(self._cache),
-            capacity=self.cache_size,
+            hits=snapshot.cache_hits,
+            misses=snapshot.cache_misses,
+            size=snapshot.cache_size,
+            capacity=snapshot.cache_capacity,
         )
 
     def _run(self, conn: sqlite3.Connection, sql: str) -> ExecutionResult:
@@ -186,10 +250,11 @@ class SQLiteExecutor:
 
     def close(self) -> None:
         """Release the underlying SQLite resources."""
-        for conn in self._connections.values():
-            conn.close()
-        self._connections.clear()
-        self._cache.clear()
+        with self._lock:
+            for conn in self._connections.values():
+                conn.close()
+            self._connections.clear()
+            self._cache.clear()
 
     def __enter__(self) -> "SQLiteExecutor":
         return self

@@ -1,0 +1,39 @@
+"""Per-task execution context shared across layers.
+
+The parallel evaluation engine runs many translation tasks concurrently,
+and several layers below it keep per-call state that must stay
+*attributable to a task* rather than to the accidental interleaving of
+worker threads — most importantly the seeded fault injector
+(:class:`~repro.llm.faults.FaultyLLM` with a task-scoped policy), whose
+schedule has to be a pure function of the task, not of thread timing,
+for ``workers=4`` runs to be byte-identical to serial ones.
+
+A :class:`contextvars.ContextVar` carries the current task's *lane* — a
+stable identifier (the example id) set by the engine around each
+translation.  Contextvars are per-thread by default, so worker threads
+never see each other's lane.  Outside an evaluation run the lane is
+``None`` and every consumer falls back to its legacy global behaviour.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+_TASK_LANE: ContextVar[Optional[str]] = ContextVar("repro_task_lane", default=None)
+
+
+def current_task_lane() -> Optional[str]:
+    """The lane of the task currently translating, or None outside one."""
+    return _TASK_LANE.get()
+
+
+@contextmanager
+def task_lane(lane: Optional[str]) -> Iterator[None]:
+    """Scope ``lane`` as the current task lane for the enclosed block."""
+    token = _TASK_LANE.set(lane)
+    try:
+        yield
+    finally:
+        _TASK_LANE.reset(token)

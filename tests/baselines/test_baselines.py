@@ -31,7 +31,7 @@ class TestZeroFew:
 
     def test_few_shot_uses_more_tokens(self, train_set, dev_set):
         zero = ZeroShotSQL(MockLLM(GPT4, seed=1))
-        few = FewShotRandom(MockLLM(GPT4, seed=1), train_set)
+        few = FewShotRandom(MockLLM(GPT4, seed=1), demo_pool=train_set)
         task = first_task(dev_set)
         assert (
             few.translate(task).usage.prompt_tokens
@@ -68,11 +68,11 @@ class TestC3:
 
 class TestDINSQL:
     def test_static_demos_curated(self, train_set):
-        din = DINSQL(MockLLM(GPT4, seed=1), train_set)
+        din = DINSQL(MockLLM(GPT4, seed=1), demo_pool=train_set)
         assert len(din._static_demos) >= 6
 
     def test_two_llm_calls(self, train_set, dev_set):
-        din = DINSQL(MockLLM(GPT4, seed=1), train_set)
+        din = DINSQL(MockLLM(GPT4, seed=1), demo_pool=train_set)
         result = din.translate(first_task(dev_set))
         assert result.usage.calls == 2
         assert result.sql
@@ -95,7 +95,9 @@ class TestDAILSQL:
         assert jaccard(frozenset(), frozenset()) == 0.0
 
     def test_translates(self, train_set, dev_set):
-        dail = DAILSQL(MockLLM(GPT4, seed=1), train_set, consistency_n=2)
+        dail = DAILSQL(
+            MockLLM(GPT4, seed=1), demo_pool=train_set, consistency_n=2
+        )
         result = dail.translate(first_task(dev_set))
         assert result.sql.upper().startswith("SELECT")
         assert result.usage.calls == 2  # preliminary + final
@@ -103,13 +105,13 @@ class TestDAILSQL:
 
 class TestPLMSeq2SQL:
     def test_translates_without_llm(self, train_set, dev_set):
-        plm = PLMSeq2SQL(train_set)
+        plm = PLMSeq2SQL(demo_pool=train_set)
         result = plm.translate(first_task(dev_set))
         assert result.sql.upper().startswith("SELECT")
         assert result.usage.total_tokens == 0
 
     def test_high_em_on_dev(self, train_set, dev_set):
-        plm = PLMSeq2SQL(train_set)
+        plm = PLMSeq2SQL(demo_pool=train_set)
         report = evaluate_approach(plm, dev_set, limit=40)
         assert report.em > 0.4  # fine-tuned family: strong EM even tiny-scale
 

@@ -1,0 +1,132 @@
+"""Request coalescing: identical in-flight completions are paid for once."""
+
+import threading
+
+from repro.llm import CoalescingLLM, LLMRequest, LLMResponse
+from repro.llm.errors import ServerError
+
+
+class SlowLLM:
+    """Blocks every call on an external gate so tests control overlap."""
+
+    name = "slow"
+
+    def __init__(self, fail: bool = False, crash: bool = False):
+        self.gate = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.fail = fail
+        self.crash = crash
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        with self._lock:
+            self.calls += 1
+        self.gate.wait(timeout=5.0)
+        if self.fail:
+            raise ServerError("provider down")
+        if self.crash:
+            self.crash = False  # only the leader's call crashes
+            raise RuntimeError("bug in the provider stack")
+        return LLMResponse(texts=[request.prompt], prompt_tokens=1)
+
+
+def fan_out(llm, requests):
+    """Issue the requests concurrently; return (results, errors) by index."""
+    results = [None] * len(requests)
+    errors = [None] * len(requests)
+
+    def call(i):
+        try:
+            results[i] = llm.complete(requests[i])
+        except Exception as exc:  # noqa: broad-except - recording for asserts
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=call, args=(i,)) for i in range(len(requests))
+    ]
+    for t in threads:
+        t.start()
+    return threads, results, errors
+
+
+def join(threads):
+    for t in threads:
+        t.join(timeout=5.0)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_merge(self):
+        inner = SlowLLM()
+        llm = CoalescingLLM(inner)
+        requests = [LLMRequest(prompt="same", n=2) for _ in range(4)]
+        threads, results, errors = fan_out(llm, requests)
+        # Wait until the leader is inside the inner call, then release.
+        for _ in range(100):
+            if inner.calls == 1:
+                break
+            threading.Event().wait(0.01)
+        inner.gate.set()
+        join(threads)
+        assert errors == [None] * 4
+        assert inner.calls == 1
+        assert all(r.texts == ["same"] for r in results)
+        stats = llm.stats()
+        assert (stats.requests, stats.leads, stats.merged) == (4, 1, 3)
+
+    def test_distinct_requests_do_not_merge(self):
+        inner = SlowLLM()
+        inner.gate.set()
+        llm = CoalescingLLM(inner)
+        llm.complete(LLMRequest(prompt="a"))
+        llm.complete(LLMRequest(prompt="b"))
+        assert inner.calls == 2
+        assert llm.stats().merged == 0
+
+    def test_sequential_identical_requests_do_not_merge(self):
+        """Coalescing is about *in-flight* duplicates only — no caching."""
+        inner = SlowLLM()
+        inner.gate.set()
+        llm = CoalescingLLM(inner)
+        llm.complete(LLMRequest(prompt="a"))
+        llm.complete(LLMRequest(prompt="a"))
+        assert inner.calls == 2
+
+    def test_leader_llm_error_reaches_all_followers(self):
+        inner = SlowLLM(fail=True)
+        llm = CoalescingLLM(inner)
+        requests = [LLMRequest(prompt="same") for _ in range(3)]
+        threads, results, errors = fan_out(llm, requests)
+        for _ in range(100):
+            if inner.calls == 1:
+                break
+            threading.Event().wait(0.01)
+        inner.gate.set()
+        join(threads)
+        assert results == [None] * 3
+        assert all(isinstance(e, ServerError) for e in errors)
+        assert inner.calls == 1
+
+    def test_followers_retry_when_leader_dies_of_a_bug(self):
+        inner = SlowLLM(crash=True)
+        llm = CoalescingLLM(inner)
+        requests = [LLMRequest(prompt="same") for _ in range(2)]
+        threads, results, errors = fan_out(llm, requests)
+        for _ in range(100):
+            if inner.calls == 1:
+                break
+            threading.Event().wait(0.01)
+        inner.gate.set()
+        join(threads)
+        # One caller saw the bug; the other retried independently.
+        crashed = [e for e in errors if isinstance(e, RuntimeError)]
+        succeeded = [r for r in results if r is not None]
+        assert len(crashed) == 1 and len(succeeded) == 1
+        assert llm.stats().follower_retries == 1
+
+    def test_serial_use_is_transparent(self):
+        inner = SlowLLM()
+        inner.gate.set()
+        llm = CoalescingLLM(inner)
+        response = llm.complete(LLMRequest(prompt="q"))
+        assert response.texts == ["q"]
+        assert llm.name == "slow"

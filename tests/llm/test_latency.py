@@ -1,0 +1,44 @@
+"""Simulated provider latency: deterministic delays through a fake clock."""
+
+from repro.llm import FakeClock, LLMRequest, LLMResponse, SimulatedLatencyLLM
+
+
+class EchoLLM:
+    name = "echo"
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        return LLMResponse(texts=[request.prompt])
+
+
+class TestSimulatedLatency:
+    def test_delegates_and_counts(self):
+        clock = FakeClock()
+        llm = SimulatedLatencyLLM(EchoLLM(), base=0.05, clock=clock)
+        response = llm.complete(LLMRequest(prompt="q"))
+        assert response.texts == ["q"]
+        assert llm.calls == 1
+        assert llm.total_delay == 0.05
+        assert clock.now == 0.05
+
+    def test_delay_is_deterministic_per_prompt(self):
+        a = SimulatedLatencyLLM(EchoLLM(), base=0.03, jitter=0.01, seed=5)
+        b = SimulatedLatencyLLM(EchoLLM(), base=0.03, jitter=0.01, seed=5)
+        request = LLMRequest(prompt="question one")
+        assert a.delay_for(request) == b.delay_for(request)
+        other = LLMRequest(prompt="question two")
+        assert a.delay_for(request) != a.delay_for(other)
+        assert 0.02 <= a.delay_for(request) <= 0.04
+
+    def test_no_jitter_means_constant_delay(self):
+        llm = SimulatedLatencyLLM(EchoLLM(), base=0.01)
+        assert llm.delay_for(LLMRequest(prompt="a")) == 0.01
+        assert llm.delay_for(LLMRequest(prompt="b")) == 0.01
+
+    def test_zero_base_sleeps_nothing(self):
+        clock = FakeClock()
+        llm = SimulatedLatencyLLM(EchoLLM(), base=0.0, clock=clock)
+        llm.complete(LLMRequest(prompt="q"))
+        assert clock.now == 0.0
+
+    def test_name_mirrors_inner(self):
+        assert SimulatedLatencyLLM(EchoLLM()).name == "echo"

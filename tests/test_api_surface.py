@@ -1,0 +1,82 @@
+"""Keep approach construction behind the ``repro.api`` facade.
+
+The registry exists so the CLI and the benchmark suite never hard-code
+approach classes again; these lint-style checks stop the string-ladder
+from growing back.  Direct class use remains fine *inside* the library
+and in the examples, which demonstrate the underlying objects.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Files that must construct approaches exclusively via repro.api.
+FACADE_ONLY = [ROOT / "src" / "repro" / "cli.py"] + sorted(
+    (ROOT / "benchmarks").glob("*.py")
+)
+
+#: Approach classes whose constructors are off-limits in facade-only code.
+APPROACH_CLASSES = (
+    "Purple",
+    "ZeroShotSQL",
+    "FewShotRandom",
+    "C3",
+    "DINSQL",
+    "DAILSQL",
+    "PLMSeq2SQL",
+)
+
+DIRECT_CONSTRUCTION = re.compile(
+    r"\b(" + "|".join(APPROACH_CLASSES) + r")\s*\("
+)
+BASELINES_IMPORT = re.compile(r"^\s*(from|import)\s+repro\.baselines\b")
+
+#: String literals (paper-table labels like "C3 (ChatGPT)") are not code.
+STRING_LITERAL = re.compile(r"(\"[^\"]*\"|'[^']*')")
+
+
+def violations():
+    found = []
+    for path in FACADE_ONLY:
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            line = STRING_LITERAL.sub("", raw)
+            if BASELINES_IMPORT.match(line) or DIRECT_CONSTRUCTION.search(line):
+                found.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: {line.strip()}"
+                )
+    return found
+
+
+class TestApproachesViaFacade:
+    def test_scanned_files_exist(self):
+        assert len(FACADE_ONLY) > 5
+        assert all(path.is_file() for path in FACADE_ONLY)
+
+    def test_no_direct_approach_construction(self):
+        found = violations()
+        assert not found, (
+            "Construct approaches through repro.api.create(...) instead of "
+            "instantiating approach classes directly:\n" + "\n".join(found)
+        )
+
+
+class TestPublicExportList:
+    def test_all_is_the_single_export_list(self):
+        from repro import api
+
+        assert api.__all__ == [
+            "Translator",
+            "UnknownApproachError",
+            "available",
+            "create",
+            "register",
+        ]
+        for name in api.__all__:
+            assert hasattr(api, name)
+
+    def test_registry_names_match_factories(self):
+        from repro import api
+
+        assert api.available() == tuple(sorted(api.available()))
+        assert "purple" in api.available()
