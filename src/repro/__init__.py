@@ -7,7 +7,8 @@ Top-level convenience surface; the subpackages are the real API:
 * :mod:`repro.core` — the PURPLE pipeline;
 * :mod:`repro.baselines` — C3, DIN-SQL, DAIL-SQL, zero/few-shot, PLM;
 * :mod:`repro.llm` — the simulated LLM provider;
-* :mod:`repro.eval` — EM/EX/TS metrics, harness, reporting.
+* :mod:`repro.eval` — EM/EX/TS metrics, harness, reporting;
+* :mod:`repro.obs` — tracing, metrics, and structured run telemetry.
 
 Quickstart::
 

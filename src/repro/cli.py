@@ -4,10 +4,16 @@ Commands:
 
 * ``generate``  — build the synthetic benchmark corpus and save it to disk;
 * ``evaluate``  — train an approach on a saved train split and score it on
-  a saved dev split (EM/EX);
+  a saved dev split (EM/EX), optionally tracing the run (``--trace-out``)
+  and streaming structured events (``--log-level``);
 * ``translate`` — answer one NL question against a database of a saved
   dataset with a trained PURPLE pipeline;
+* ``report``    — render a saved JSONL trace as a per-stage / per-hardness
+  profile with a text flame summary;
 * ``stats``     — print Table-3 style statistics for saved datasets.
+
+All human-facing output goes through :mod:`repro.obs.render`, the CLI's
+single rendering boundary.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.obs import render
 from repro.spider import (
     Dataset,
     GeneratorConfig,
@@ -33,7 +40,7 @@ def _cmd_generate(args) -> int:
         train_examples_per_db=args.train_per_db,
         dev_examples_per_db=args.dev_per_db,
     )
-    print("Generating corpus ...")
+    render.out("Generating corpus ...")
     bench = generate_benchmark(config)
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
@@ -41,8 +48,8 @@ def _cmd_generate(args) -> int:
     bench.dev.save(out / "dev.json")
     for style in ("syn", "realistic", "dk"):
         make_variant(bench.dev, style).save(out / f"dev_{style}.json")
-    print(f"Saved train ({len(bench.train)}) and dev ({len(bench.dev)}) "
-          f"plus variants to {out}/")
+    render.out(f"Saved train ({len(bench.train)}) and dev ({len(bench.dev)}) "
+               f"plus variants to {out}/")
     return 0
 
 
@@ -73,42 +80,80 @@ def _build_approach(name: str, llm, train: Dataset, budget: int,
         raise SystemExit(str(exc))
 
 
+def _make_observer(args):
+    """The run observer implied by ``--trace-out`` / ``--log-level``."""
+    from repro.obs import Observer
+
+    streaming = args.log_level != "off"
+    if args.trace_out is None and not streaming:
+        return None
+    return Observer(
+        # Collect events into the trace even when nothing streams live.
+        log_level=args.log_level if streaming else "info",
+        log_sink=render.stderr_sink if streaming else None,
+    )
+
+
 def _cmd_evaluate(args) -> int:
     from repro.eval import evaluate_approach, performance_summary
+    from repro.obs import write_trace
 
     train = _load(args.train)
     dev = _load(args.dev)
-    print(f"Training {args.approach} ({args.llm}) on {len(train)} demos ...")
+    render.out(
+        f"Training {args.approach} ({args.llm}) on {len(train)} demos ..."
+    )
     llm = _make_llm(args.llm, cache_dir=args.cache_dir)
     approach = _build_approach(
         args.approach, llm, train, args.budget, args.consistency
     )
+    observer = _make_observer(args)
     report = evaluate_approach(
-        approach, dev, limit=args.limit, workers=args.workers
+        approach, dev, limit=args.limit, workers=args.workers,
+        observer=observer,
     )
-    print(
+    render.out(
         f"{approach.name}: EM {report.em:.1%}  EX {report.ex:.1%}  "
         f"tokens/query {report.tokens_per_query()}  (n={len(report)})"
     )
     perf = performance_summary(report)
     if perf:
-        print(
+        render.out(
             f"  workers {perf['workers']}  wall {perf['wall_time_s']}s  "
             f"throughput {perf['throughput_qps']} q/s  "
             f"p50 {perf['latency_p50_s']}s  p95 {perf['latency_p95_s']}s"
         )
     if args.cache_dir is not None:
         info = llm.stats()
-        print(
+        render.out(
             f"  prompt cache: {info.hits} hits / "
             f"{info.hits + info.misses} lookups "
             f"(hit rate {info.hit_rate:.1%})"
         )
+    if report.telemetry is not None:
+        t = report.telemetry
+        render.out(
+            f"  telemetry: cache hit rate {t.cache_hit_rate:.1%}  "
+            f"retries {t.llm_retries}  breaker opens {t.breaker_opens}  "
+            f"degraded {t.degraded}  events {t.events}"
+        )
     if args.by_hardness:
         for metric in ("em", "ex"):
-            print(f"  {metric.upper()} by hardness:", {
+            render.out(f"  {metric.upper()} by hardness:", {
                 k: f"{v:.1%}" for k, v in report.by_hardness(metric).items()
             })
+    if observer is not None and args.trace_out is not None:
+        lines = write_trace(
+            observer,
+            args.trace_out,
+            meta={
+                "approach": approach.name,
+                "dataset": dev.name,
+                "tasks": len(report),
+                "workers": args.workers,
+            },
+        )
+        render.out(f"  trace: {lines} lines -> {args.trace_out}")
     return 0
 
 
@@ -126,7 +171,20 @@ def _cmd_translate(args) -> int:
     result = approach.translate(
         TranslationTask(question=args.question, database=dev.database(args.db_id))
     )
-    print(result.sql)
+    render.out(result.sql)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.obs import chrome_trace, read_trace, render_report
+
+    trace = read_trace(args.trace)
+    render.out(render_report(trace))
+    if args.chrome is not None:
+        Path(args.chrome).write_text(json.dumps(chrome_trace(trace)))
+        render.out(f"\nchrome trace -> {args.chrome}")
     return 0
 
 
@@ -134,8 +192,8 @@ def _cmd_stats(args) -> int:
     for path in args.datasets:
         stats = benchmark_statistics(_load(path))
         name, queries, dbs, qlen, slen = stats.row()
-        print(f"{name}: {queries} queries, {dbs} dbs, "
-              f"avg NL {qlen} chars, avg SQL {slen} chars")
+        render.out(f"{name}: {queries} queries, {dbs} dbs, "
+                   f"avg NL {qlen} chars, avg SQL {slen} chars")
     return 0
 
 
@@ -178,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the prompt cache here; a re-run served from a "
              "warm cache skips the provider entirely",
     )
+    e.add_argument(
+        "--trace-out", default=None,
+        help="trace the run (spans, events, metrics) into this JSONL "
+             "file; inspect it with `repro report`",
+    )
+    e.add_argument(
+        "--log-level", default="off",
+        choices=["debug", "info", "warning", "error", "off"],
+        help="stream structured events at or above this level to stderr",
+    )
     e.add_argument("--by-hardness", action="store_true")
     e.set_defaults(func=_cmd_evaluate)
 
@@ -191,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--consistency", type=int, default=10)
     t.set_defaults(func=_cmd_translate)
 
+    r = sub.add_parser("report", help="render a saved JSONL run trace")
+    r.add_argument("trace", help="trace file written by evaluate --trace-out")
+    r.add_argument(
+        "--chrome", default=None,
+        help="also convert to Chrome trace_event JSON at this path "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    r.set_defaults(func=_cmd_report)
+
     s = sub.add_parser("stats", help="Table-3 statistics for saved datasets")
     s.add_argument("datasets", nargs="+")
     s.set_defaults(func=_cmd_stats)
@@ -201,7 +278,15 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly with the
+        # conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

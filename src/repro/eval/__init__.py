@@ -25,6 +25,7 @@ from repro.eval.reporting import (
     performance_table,
     save_csv,
     summary_rows,
+    telemetry_summary,
     to_csv,
 )
 from repro.eval.timing import RunTiming, TaskTiming, collect_stages, stage
@@ -60,6 +61,7 @@ __all__ = [
     "performance_table",
     "save_csv",
     "summary_rows",
+    "telemetry_summary",
     "to_csv",
     "TestSuite",
     "build_test_suite",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
+from contextlib import nullcontext
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.eval.timing import TaskTiming, collect_stages
@@ -31,6 +32,7 @@ def map_ordered(
     *,
     workers: int = 1,
     lane_of: Optional[Callable] = None,
+    observer=None,
 ) -> tuple:
     """Apply ``fn`` to each item; return ``(results, timings)`` in item order.
 
@@ -40,6 +42,11 @@ def map_ordered(
     modes are indistinguishable from the outside.  ``lane_of(item)``
     names the task's lane (defaults to the item's position); an
     exception from ``fn`` propagates after the pool drains.
+
+    ``observer`` (a :class:`repro.obs.Observer`) is activated *inside*
+    each task — contextvars are per-thread, so installing it around the
+    pool would leave worker threads unobserved — and opens the task's
+    root span on its lane.
     """
     items = list(items)
     lanes = [
@@ -49,8 +56,11 @@ def map_ordered(
 
     def run_one(index: int):
         stages: dict = {}
+        observed = (
+            observer.task(lanes[index]) if observer is not None else nullcontext()
+        )
         started = time.perf_counter()
-        with task_lane(lanes[index]), collect_stages(stages):
+        with task_lane(lanes[index]), collect_stages(stages), observed:
             value = fn(items[index])
         latency = time.perf_counter() - started
         return value, TaskTiming(ex_id=lanes[index], latency=latency, stages=stages)

@@ -19,6 +19,8 @@ from repro.eval.execution import GoldExecutionError, execution_match
 from repro.eval.test_suite import TestSuite, build_test_suite
 from repro.eval.timing import RunTiming, stage
 from repro.llm.errors import LLMError
+from repro.obs import runtime as obs
+from repro.obs.telemetry import RunTelemetry
 from repro.schema import Database, SQLiteExecutor
 from repro.spider.dataset import Dataset
 
@@ -97,14 +99,18 @@ class EvaluationReport:
     """Aggregated metrics for one (approach, dataset) run.
 
     ``timing`` profiles the run (wall time, per-stage seconds, latency
-    percentiles); it is deliberately separate from ``outcomes``, which
-    stay byte-identical across worker counts.
+    percentiles) and ``telemetry`` rolls up what the wrapper stack did
+    (cache hits, retries, breaker openings, degradations) when the run
+    was observed; both are deliberately separate from ``outcomes``,
+    which stay byte-identical across worker counts and with telemetry
+    on or off.
     """
 
     approach: str
     dataset: str
     outcomes: list = field(default_factory=list)
     timing: Optional[RunTiming] = None
+    telemetry: Optional[RunTelemetry] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -195,6 +201,7 @@ def evaluate_approach(
     test_suites: Optional[dict] = None,
     limit: Optional[int] = None,
     workers: int = 1,
+    observer=None,
 ) -> EvaluationReport:
     """Run ``approach`` over ``dataset`` and compute EM/EX (and TS when
     suites are supplied as ``{db_id: TestSuite}``).
@@ -203,6 +210,12 @@ def evaluate_approach(
     order, so any worker count yields the identical report (timing
     aside).  Each worker thread scores on its own
     :class:`~repro.schema.SQLiteExecutor`.
+
+    Pass an ``observer`` (:class:`repro.obs.Observer`) to trace the run:
+    every task gets a root span with per-stage children, the wrapper
+    stack feeds the metrics registry, and the report's ``telemetry``
+    field carries the roll-up.  Outcomes are byte-identical with or
+    without one.
     """
     report = EvaluationReport(approach=approach.name, dataset=dataset.name)
     examples = dataset.examples[:limit] if limit else dataset.examples
@@ -230,12 +243,21 @@ def evaluate_approach(
             question=example.question,
             database=dataset.database(example.db_id),
         )
+        obs.annotate(hardness=example.hardness, db_id=example.db_id)
+        obs.count("tasks.evaluated")
         try:
             result = approach.translate(task)
-        except LLMError:
+        except LLMError as exc:
             # An approach without a degradation ladder let a provider
             # error through: record an unanswered outcome and keep the
             # run alive rather than losing every task after this one.
+            obs.count("tasks.unanswered")
+            obs.event(
+                "task.unanswered",
+                level="error",
+                error=type(exc).__name__,
+                ex_id=example.ex_id,
+            )
             return ExampleOutcome(
                 ex_id=example.ex_id,
                 hardness=example.hardness,
@@ -255,6 +277,13 @@ def evaluate_approach(
             except GoldExecutionError as exc:
                 ex = False
                 eval_error = str(exc)
+                obs.count("tasks.eval_errors")
+                obs.event(
+                    "task.eval_error",
+                    level="warning",
+                    ex_id=example.ex_id,
+                    error=str(exc),
+                )
         with stage("score"):
             em = exact_set_match(example.sql, result.sql)
             ts = None
@@ -264,6 +293,12 @@ def evaluate_approach(
                 and example.db_id in test_suites
             ):
                 ts = test_suites[example.db_id].match(example.sql, result.sql)
+        obs.annotate(
+            em=em,
+            ex=ex,
+            degradation_level=result.degradation_level,
+            retries=result.retries,
+        )
         return ExampleOutcome(
             ex_id=example.ex_id,
             hardness=example.hardness,
@@ -285,6 +320,7 @@ def evaluate_approach(
             examples,
             workers=workers,
             lane_of=lambda example: example.ex_id,
+            observer=observer,
         )
     finally:
         with executors_lock:
@@ -296,6 +332,8 @@ def evaluate_approach(
         workers=max(workers, 1),
         tasks=list(task_timings),
     )
+    if observer is not None:
+        report.telemetry = observer.telemetry()
     return report
 
 

@@ -4,8 +4,12 @@ The benchmark suite prints paper-style tables; this module gives library
 users the same rendering for their own experiment matrices:
 
     reports = {"purple": report_a, "dail": report_b}
-    print(markdown_table(reports))
+    table = markdown_table(reports)
     save_csv(reports, "results.csv")
+
+Nothing here writes to the console: functions return strings/dicts, and
+the CLI routes them through :mod:`repro.obs.render` (the one module
+allowed to ``print``).
 """
 
 from __future__ import annotations
@@ -41,6 +45,17 @@ def performance_summary(report: EvaluationReport) -> dict:
             for name, seconds in timing.stage_totals().items()
         },
     }
+
+
+def telemetry_summary(report: EvaluationReport) -> dict:
+    """The report's telemetry roll-up as a JSON-ready dict.
+
+    Empty for unobserved runs — pass an ``observer`` to
+    :func:`~repro.eval.harness.evaluate_approach` to populate it.
+    """
+    if report.telemetry is None:
+        return {}
+    return report.telemetry.as_dict()
 
 
 def performance_table(report: EvaluationReport) -> str:

@@ -18,11 +18,15 @@ the report that determinism tests compare.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
+
+from repro.obs.runtime import end_span as _obs_end_span
+from repro.obs.runtime import start_span as _obs_start_span
 
 #: Canonical stage names in pipeline order (others are allowed).
 STAGE_ORDER = ("prune", "skeleton", "select", "llm", "adapt", "execute", "score")
@@ -36,17 +40,23 @@ _COLLECTOR: ContextVar[Optional[dict]] = ContextVar(
 def stage(name: str) -> Iterator[None]:
     """Attribute the enclosed block's wall time to stage ``name``.
 
-    A no-op (beyond one contextvar read) when no collector is installed.
+    A no-op (beyond one contextvar read each for the collector and the
+    observer) when neither timing nor tracing is active.  With an
+    observer active the block additionally becomes a ``stage:<name>``
+    span in the trace.
     """
     acc = _COLLECTOR.get()
-    if acc is None:
+    span = _obs_start_span(f"stage:{name}")
+    if acc is None and span is None:
         yield
         return
     started = time.perf_counter()
     try:
         yield
     finally:
-        acc[name] = acc.get(name, 0.0) + time.perf_counter() - started
+        if acc is not None:
+            acc[name] = acc.get(name, 0.0) + time.perf_counter() - started
+        _obs_end_span(span)
 
 
 @contextmanager
@@ -91,11 +101,16 @@ class RunTiming:
         return [t.latency for t in self.tasks]
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) of task latency."""
+        """Nearest-rank percentile (``q`` in [0, 100]) of task latency.
+
+        ``ceil(q/100 * n)`` is the nearest-rank definition: p95 over 100
+        samples is the 95th order statistic, p0 and p100 clamp to the
+        extremes.
+        """
         values = sorted(self.latencies())
         if not values:
             return 0.0
-        rank = max(int(round(q / 100.0 * len(values) + 0.5)), 1)
+        rank = max(math.ceil(q / 100.0 * len(values)), 1)
         return values[min(rank, len(values)) - 1]
 
     def stage_totals(self) -> dict:

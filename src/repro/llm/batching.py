@@ -29,6 +29,7 @@ from typing import Optional
 from repro.llm.cache import request_key
 from repro.llm.errors import LLMError
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.obs import runtime as obs
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,10 @@ class CoalescingLLM:
             else:
                 self._merged += 1
                 leader = False
+        obs.count("coalesce.requests")
+        obs.count("coalesce.leads" if leader else "coalesce.merged")
+        if not leader:
+            obs.event("coalesce.merged", key=key)
         if leader:
             try:
                 entry.response = self.inner.complete(request)
@@ -98,6 +103,7 @@ class CoalescingLLM:
             # make the call independently.
             with self._lock:
                 self._follower_retries += 1
+            obs.count("coalesce.follower_retries")
             return self.inner.complete(request)
         return entry.response
 

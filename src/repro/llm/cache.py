@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.obs import runtime as obs
 from repro.utils.rng import stable_hash
 
 
@@ -97,20 +98,25 @@ class PromptCache:
             if entry is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                obs.count("cache.hits")
                 return _copy_response(entry)
             entry = self._load_from_disk(key)
             if entry is not None:
                 self._hits += 1
                 self._disk_hits += 1
                 self._admit(key, entry)
+                obs.count("cache.hits")
+                obs.count("cache.disk_hits")
                 return _copy_response(entry)
             self._misses += 1
+            obs.count("cache.misses")
             return None
 
     def put(self, key: str, response: LLMResponse) -> None:
         """Store a completion under ``key`` (memory and, if set, disk)."""
         with self._lock:
             self._stores += 1
+            obs.count("cache.stores")
             self._admit(key, _copy_response(response))
             if self.cache_dir is not None:
                 self._entry_path(key).write_text(
@@ -147,6 +153,7 @@ class PromptCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self._evictions += 1
+            obs.count("cache.evictions")
 
     def _entry_path(self, key: str) -> Path:
         assert self.cache_dir is not None
@@ -195,7 +202,10 @@ class CachingLLM:
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Serve from cache when possible, else delegate and store."""
         key = request_key(request, self.name)
-        cached = self.cache.get(key)
+        with obs.span("cache.lookup") as lookup:
+            cached = self.cache.get(key)
+            if lookup is not None:
+                lookup.attrs["hit"] = cached is not None
         if cached is not None:
             return cached
         response = self.inner.complete(request)

@@ -21,6 +21,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.llm.errors import LLMError
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.obs import runtime as obs
 
 
 @dataclass
@@ -49,12 +50,28 @@ def run_ladder(
     """
     events: list = []
     for level, make_request in enumerate(rungs):
-        try:
-            response = llm.complete(make_request())
-        except LLMError as exc:
-            events.append(f"{type(exc).__name__}@{level}")
-            continue
+        with obs.span("llm.rung", rung=level) as rung_span:
+            try:
+                response = llm.complete(make_request())
+            except LLMError as exc:
+                events.append(f"{type(exc).__name__}@{level}")
+                if rung_span is not None:
+                    rung_span.attrs["error"] = type(exc).__name__
+                obs.count("degrade.rung_failures")
+                obs.event(
+                    "degrade.rung_failed",
+                    level="warning",
+                    rung=level,
+                    error=type(exc).__name__,
+                )
+                continue
+        obs.count("degrade.level", level=level)
+        if level > 0:
+            obs.event("degrade.answered_below_full", rung=level)
         return LadderOutcome(response=response, level=level, events=tuple(events))
+    obs.count("degrade.level", level=len(rungs))
+    obs.count("degrade.exhausted")
+    obs.event("degrade.exhausted", level="error", rungs=len(rungs))
     return LadderOutcome(response=None, level=len(rungs), events=tuple(events))
 
 

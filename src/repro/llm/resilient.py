@@ -30,6 +30,7 @@ from typing import Optional, Protocol
 
 from repro.llm.errors import CircuitOpenError, LLMError, TruncatedCompletion
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
+from repro.obs import runtime as obs
 from repro.utils.rng import derive_rng
 
 
@@ -125,9 +126,18 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         self.transitions.append((self.state, state))
+        obs.count(
+            "llm.breaker.transitions", **{"from": self.state, "to": state}
+        )
         if state == "open":
             self.openings += 1
             self._opened_at = self.clock.monotonic()
+            obs.count("llm.breaker.opens")
+            obs.event(
+                "breaker.open",
+                level="warning",
+                consecutive_failures=self._consecutive_failures,
+            )
         self.state = state
 
     def allow(self) -> bool:
@@ -236,16 +246,22 @@ class ResilientLLM:
                     break
                 stats.attempts += 1
                 self.stats.attempts += 1
+                obs.count("llm.attempts")
+                attempt_span = obs.start_span(
+                    "llm.attempt", attempt=stats.attempts
+                )
                 try:
                     response = self.inner.complete(request)
                 except TruncatedCompletion:
                     # Same-size retries cannot help; hand straight to the
                     # degradation ladder.  Not a provider outage either, so
                     # the breaker does not count it.
+                    obs.end_span(attempt_span, outcome="truncated")
                     stats.outcome = "truncated"
                     self.stats.failures += 1
                     raise
                 except LLMError as exc:
+                    obs.end_span(attempt_span, outcome=type(exc).__name__)
                     self.breaker.record_failure()
                     last_error = exc
                     if not exc.retryable:
@@ -263,7 +279,16 @@ class ResilientLLM:
                     stats.retries += 1
                     self.stats.retries += 1
                     self.stats.total_wait += delay
+                    obs.count("llm.retries")
+                    obs.observe("llm.backoff_wait_s", delay)
+                    obs.event(
+                        "llm.retry",
+                        attempt=stats.attempts,
+                        error=type(exc).__name__,
+                        wait_s=round(delay, 4),
+                    )
                 else:
+                    obs.end_span(attempt_span, outcome="ok")
                     self.breaker.record_success()
                     stats.outcome = "ok"
                     return response
@@ -276,9 +301,14 @@ class ResilientLLM:
                     stats.fallback_used = True
                     stats.outcome = "fallback"
                     self.stats.fallback_successes += 1
+                    obs.count("llm.fallbacks")
+                    obs.event("llm.fallback", provider=self.fallback.name)
                     return response
             stats.outcome = "error"
             self.stats.failures += 1
+            obs.event(
+                "llm.error", level="error", error=type(last_error).__name__
+            )
             raise last_error
         finally:
             stats.breaker_transitions = self.breaker.transitions[

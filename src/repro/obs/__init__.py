@@ -1,0 +1,69 @@
+"""Observability: spans, metrics, structured events, trace export.
+
+The evaluation stack is a multi-stage pipeline (prune → skeleton →
+select → llm → adapt → execute) behind a resilience layer (retries,
+circuit breaker, degradation ladder) and a caching/coalescing layer.
+Aggregate numbers cannot say *which* stage spent the time or *which*
+fallback rescued a query; this package can:
+
+* **spans** (:mod:`repro.obs.trace`) — one root span per evaluated
+  task with child spans for every pipeline stage, degradation rung,
+  provider attempt, cache lookup, and SQL statement, carried on the
+  same contextvar lanes the parallel engine already uses;
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms fed by the resilience, cache, coalescing, and executor
+  layers;
+* **structured events** (:mod:`repro.obs.log`) — levelled, typed log
+  records that ride along in the trace;
+* **export** (:mod:`repro.obs.export`) — a JSONL trace file (one span
+  or event per line) plus a Chrome ``trace_event`` converter;
+* **reporting** (:mod:`repro.obs.report`) — the ``repro report``
+  renderer: per-stage / per-hardness profiles and a text flame summary.
+
+Everything hangs off one :class:`~repro.obs.runtime.Observer`; when none
+is active every instrumentation point is a single contextvar read (the
+same discipline as :func:`repro.eval.timing.stage`), and enabling
+telemetry never changes evaluation outcomes — only observes them.
+"""
+
+from repro.obs.export import chrome_trace, read_trace, write_trace
+from repro.obs.log import LOG_LEVELS, LogEvent, StructuredLogger
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, metric_key, parse_metric_key
+from repro.obs.report import render_report
+from repro.obs.runtime import (
+    Observer,
+    annotate,
+    count,
+    current_observer,
+    event,
+    gauge,
+    observe,
+    span,
+)
+from repro.obs.telemetry import RunTelemetry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Observer",
+    "current_observer",
+    "span",
+    "annotate",
+    "count",
+    "gauge",
+    "observe",
+    "event",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "metric_key",
+    "parse_metric_key",
+    "LogEvent",
+    "StructuredLogger",
+    "LOG_LEVELS",
+    "RunTelemetry",
+    "write_trace",
+    "read_trace",
+    "chrome_trace",
+    "render_report",
+]

@@ -1,0 +1,130 @@
+"""Trace export: JSONL on disk, Chrome ``trace_event`` for a viewer.
+
+The JSONL format is one self-describing object per line:
+
+* a ``meta`` header (schema version plus whatever the run recorded —
+  approach, dataset, workers);
+* one ``span`` line per finished span, in deterministic ``(lane, seq)``
+  order (ids are seeded, timestamps are monotonic-clock offsets);
+* one ``event`` line per structured log record, in record order;
+* a trailing ``metrics`` line with the registry snapshot.
+
+``repro report`` consumes this file; :func:`chrome_trace` converts the
+same data into the ``trace_event`` JSON that ``chrome://tracing`` and
+Perfetto render, with one virtual thread per task lane.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """A decoded trace: plain dicts, exactly what the JSONL lines held."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def task_spans(self) -> list:
+        """Root spans (one per evaluated task)."""
+        return [s for s in self.spans if s["name"] == "task"]
+
+    def named(self, prefix: str) -> list:
+        """Spans whose name starts with ``prefix``."""
+        return [s for s in self.spans if s["name"].startswith(prefix)]
+
+
+def write_trace(observer, path, meta=None) -> int:
+    """Serialize an observer's trace to ``path``; returns lines written.
+
+    ``observer`` is a :class:`repro.obs.runtime.Observer` (anything with
+    ``tracer``, ``logger``, and ``metrics`` duck-types).
+    """
+    lines = [
+        json.dumps(
+            {"type": "meta", "version": SCHEMA_VERSION, **(meta or {})}
+        )
+    ]
+    for span in observer.tracer.spans():
+        lines.append(json.dumps(span.as_dict()))
+    for event in observer.logger.events():
+        lines.append(json.dumps(event.as_dict()))
+    lines.append(
+        json.dumps({"type": "metrics", **observer.metrics.snapshot().as_dict()})
+    )
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_trace(path) -> TraceData:
+    """Parse a JSONL trace back into a :class:`TraceData`."""
+    trace = TraceData()
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", None)
+        if kind == "meta":
+            trace.meta = record
+        elif kind == "span":
+            trace.spans.append(record)
+        elif kind == "event":
+            trace.events.append(record)
+        elif kind == "metrics":
+            trace.metrics = record
+    return trace
+
+
+def chrome_trace(trace: TraceData) -> dict:
+    """Convert to Chrome ``trace_event`` JSON (complete events).
+
+    Lanes become numbered virtual threads with ``thread_name`` metadata,
+    which is what makes per-task swimlanes appear in the viewer.
+    """
+    lanes = sorted({span["lane"] for span in trace.spans})
+    tid = {lane: i for i, lane in enumerate(lanes)}
+    events = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid[lane],
+            "args": {"name": lane},
+        }
+        for lane in lanes
+    ]
+    for span in trace.spans:
+        end = span["end"] if span["end"] is not None else span["start"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid[span["lane"]],
+                "ts": round(span["start"] * 1e6, 3),
+                "dur": round((end - span["start"]) * 1e6, 3),
+                "args": span["attrs"],
+            }
+        )
+    for event in trace.events:
+        events.append(
+            {
+                "name": event["name"],
+                "cat": "repro.event",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid.get(event["lane"], 0),
+                "ts": round(event["t"] * 1e6, 3),
+                "args": event["fields"],
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

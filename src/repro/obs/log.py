@@ -1,0 +1,100 @@
+"""Structured event logging.
+
+Events are typed records — a name, a level, a task lane, a timestamp,
+and arbitrary JSON-ready fields — not formatted strings.  They are
+collected alongside spans (and exported into the same JSONL trace) and
+optionally forwarded live to a *sink* callable, which is how the CLI's
+``--log-level`` streams events to stderr while a run is in flight.
+
+Levels follow the familiar ladder (``debug`` < ``info`` < ``warning``
+< ``error``); ``off`` disables collection entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Callable, Optional
+
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+
+@dataclass
+class LogEvent:
+    """One structured log record."""
+
+    seq: int
+    level: str
+    name: str
+    lane: str
+    t: float
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (one JSONL trace line)."""
+        return {
+            "type": "event",
+            "seq": self.seq,
+            "level": self.level,
+            "name": self.name,
+            "lane": self.lane,
+            "t": round(self.t, 6),
+            "fields": self.fields,
+        }
+
+    def format(self) -> str:
+        """Human-readable one-liner for live sinks."""
+        parts = [f"{key}={value}" for key, value in self.fields.items()]
+        body = (" " + " ".join(parts)) if parts else ""
+        return f"[{self.level:<7}] {self.name} lane={self.lane}{body}"
+
+
+class StructuredLogger:
+    """Collects :class:`LogEvent` records above a threshold level."""
+
+    def __init__(
+        self,
+        level: str = "info",
+        sink: Optional[Callable] = None,
+    ):
+        if level not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LOG_LEVELS)}"
+            )
+        self.level = level
+        self.sink = sink
+        self._events: list = []
+        self._lock = Lock()
+
+    def enabled(self, level: str) -> bool:
+        """Whether records at ``level`` are collected."""
+        return LOG_LEVELS.get(level, 0) >= LOG_LEVELS[self.level]
+
+    def log(
+        self, name: str, level: str, lane: str, t: float, fields: dict
+    ) -> Optional[LogEvent]:
+        """Record one event (dropped when below the threshold)."""
+        if not self.enabled(level):
+            return None
+        with self._lock:
+            event = LogEvent(
+                seq=len(self._events),
+                level=level,
+                name=name,
+                lane=lane,
+                t=t,
+                fields=fields,
+            )
+            self._events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+        return event
+
+    def events(self) -> list:
+        """Collected events in record order."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,161 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Instrumented layers report what happened — a retry, a cache hit, a
+breaker opening, a degradation rung reached — as named metrics with
+optional labels.  The registry is a passive accumulator: thread-safe,
+allocation-light, and snapshotted into plain dicts for reporting and
+the JSONL trace.
+
+Metric keys are canonical strings — ``name`` or ``name{k=v,k2=v2}``
+with labels sorted by key — so snapshots are deterministic and the
+``repro report`` renderer can parse them back without a schema.
+
+Histograms keep a bounded summary (count / total / min / max), not the
+raw samples: the high-cardinality timing data lives in spans, while
+histograms cover low-volume distributions like backoff waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """The canonical string key for ``name`` with ``labels``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple:
+    """Invert :func:`metric_key` into ``(name, labels_dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels = {}
+    for part in inner.split(","):
+        if part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+@dataclass
+class HistogramSummary:
+    """Bounded summary of one observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 before the first observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A consistent point-in-time copy of a registry's contents."""
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def counter(self, name: str, **labels) -> int:
+        """One counter's value (0 when never incremented)."""
+        return self.counters.get(metric_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter over all label combinations."""
+        return sum(
+            value
+            for key, value in self.counters.items()
+            if parse_metric_key(key)[0] == name
+        )
+
+    def labelled(self, name: str) -> dict:
+        """``{labels_tuple_value: count}`` for a single-label counter."""
+        out = {}
+        for key, value in self.counters.items():
+            base, labels = parse_metric_key(key)
+            if base == name and labels:
+                out[next(iter(labels.values()))] = value
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready form with deterministically ordered keys."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                key: hist.as_dict()
+                for key, hist in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe accumulator for counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self._lock = Lock()
+
+    def count(self, name: str, value: int = 1, **labels) -> None:
+        """Increment a monotonic counter."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to its latest value."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Fold one observation into a histogram."""
+        key = metric_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = HistogramSummary()
+            hist.add(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A consistent copy of every metric."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={
+                    key: HistogramSummary(
+                        count=h.count, total=h.total, min=h.min, max=h.max
+                    )
+                    for key, h in self._histograms.items()
+                },
+            )

@@ -1,0 +1,22 @@
+"""The CLI's rendering boundary — the one module allowed to ``print``.
+
+Everything user-facing the command-line interface emits funnels through
+:func:`out` (stdout) or the structured-event sink :func:`stderr_sink`
+(stderr), so library code stays silent and testable; a lint-style test
+(``tests/test_no_print.py``) forbids ``print`` calls anywhere else under
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def out(*parts, sep: str = " ") -> None:
+    """Render a line of CLI output to stdout."""
+    print(*parts, sep=sep)
+
+
+def stderr_sink(event) -> None:
+    """Live sink for structured log events: one formatted line to stderr."""
+    print(event.format(), file=sys.stderr)

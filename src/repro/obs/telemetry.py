@@ -1,0 +1,102 @@
+"""The typed telemetry roll-up attached to evaluation reports.
+
+:class:`RunTelemetry` condenses a run's metrics registry into the
+handful of numbers an operator actually tunes on: how often the prompt
+cache saved a provider call, how many retries and breaker openings the
+fault load caused, which degradation rungs answered, and what the SQL
+executor absorbed.  It lives on
+:attr:`repro.eval.harness.EvaluationReport.telemetry` when a run is
+observed — and is deliberately *not* part of ``outcomes``, which stay
+byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """What the wrapper stack did during one evaluation run."""
+
+    tasks: int = 0
+    llm_attempts: int = 0
+    llm_retries: int = 0
+    breaker_opens: int = 0
+    fallbacks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesce_requests: int = 0
+    coalesce_merged: int = 0
+    #: Final degradation rung per translation: ``{"0": 37, "1": 3, ...}``.
+    degradation_levels: dict = field(default_factory=dict)
+    degrade_exhausted: int = 0
+    executor_statements: int = 0
+    executor_timeouts: int = 0
+    executor_cache_hits: int = 0
+    executor_cache_misses: int = 0
+    events: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Prompt-cache hits over lookups (0.0 before the first lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def degraded(self) -> int:
+        """Translations answered below the full-prompt rung."""
+        return sum(
+            n for level, n in self.degradation_levels.items() if level != "0"
+        )
+
+    @classmethod
+    def from_metrics(
+        cls, snapshot: MetricsSnapshot, events: int = 0
+    ) -> "RunTelemetry":
+        """Build the roll-up from a registry snapshot."""
+        return cls(
+            tasks=snapshot.counter("tasks.evaluated"),
+            llm_attempts=snapshot.counter("llm.attempts"),
+            llm_retries=snapshot.counter("llm.retries"),
+            breaker_opens=snapshot.counter("llm.breaker.opens"),
+            fallbacks=snapshot.counter("llm.fallbacks"),
+            cache_hits=snapshot.counter("cache.hits"),
+            cache_misses=snapshot.counter("cache.misses"),
+            coalesce_requests=snapshot.counter("coalesce.requests"),
+            coalesce_merged=snapshot.counter("coalesce.merged"),
+            degradation_levels=dict(
+                sorted(snapshot.labelled("degrade.level").items())
+            ),
+            degrade_exhausted=snapshot.counter("degrade.exhausted"),
+            executor_statements=snapshot.counter("executor.statements"),
+            executor_timeouts=snapshot.counter("executor.timeouts"),
+            executor_cache_hits=snapshot.counter("executor.cache_hits"),
+            executor_cache_misses=snapshot.counter("executor.cache_misses"),
+            events=events,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what ``repro report`` and benches render)."""
+        return {
+            "tasks": self.tasks,
+            "llm_attempts": self.llm_attempts,
+            "llm_retries": self.llm_retries,
+            "breaker_opens": self.breaker_opens,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "coalesce_requests": self.coalesce_requests,
+            "coalesce_merged": self.coalesce_merged,
+            "degradation_levels": self.degradation_levels,
+            "degraded": self.degraded,
+            "degrade_exhausted": self.degrade_exhausted,
+            "executor_statements": self.executor_statements,
+            "executor_timeouts": self.executor_timeouts,
+            "executor_cache_hits": self.executor_cache_hits,
+            "executor_cache_misses": self.executor_cache_misses,
+            "events": self.events,
+        }

@@ -1,0 +1,141 @@
+"""Hierarchical spans over the engine's task lanes.
+
+A *span* is one timed block of work — a whole task, one pipeline stage,
+one provider attempt, one SQL statement — with a parent link that
+reconstructs the call tree.  Spans are grouped by *lane*, the same
+stable per-task identifier the parallel engine scopes via
+:mod:`repro.utils.context`, so a 4-worker run produces exactly the
+per-task trees a serial run would.
+
+Determinism: span *ids* are derived from ``(tracer seed, lane, per-lane
+sequence number)`` with :func:`~repro.utils.rng.stable_hash`, so two
+runs over the same workload assign identical ids even though their
+wall-clock timestamps differ.  Timestamps are monotonic-clock offsets
+from the tracer's epoch (never wall time), which keeps durations immune
+to clock steps.
+
+The *current* span lives in a :class:`contextvars.ContextVar`: worker
+threads nest their own spans without locking each other, and the only
+shared mutation — appending a finished span, bumping a lane counter —
+is guarded by one lock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Optional
+
+from repro.utils.context import current_task_lane
+from repro.utils.rng import stable_hash
+
+#: Lane assigned to spans opened outside any task (training, one-offs).
+GLOBAL_LANE = "_global"
+
+_CURRENT_SPAN: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed block of work inside a task lane."""
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    lane: str
+    seq: int
+    start: float
+    end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (one JSONL trace line)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "lane": self.lane,
+            "seq": self.seq,
+            "start": round(self.start, 6),
+            "end": None if self.end is None else round(self.end, 6),
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Creates, nests, and collects spans for one observed run."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.epoch = time.perf_counter()
+        self._spans: list = []
+        self._lane_seq: dict = {}
+        self._lock = Lock()
+
+    def now(self) -> float:
+        """Monotonic seconds since the tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this context, if any."""
+        return _CURRENT_SPAN.get()
+
+    def start_span(
+        self, name: str, lane: Optional[str] = None, **attrs
+    ) -> Span:
+        """Open a span as a child of the current one.
+
+        ``lane`` defaults to the parent span's lane, then the engine's
+        task lane, then :data:`GLOBAL_LANE`.
+        """
+        parent = _CURRENT_SPAN.get()
+        if lane is None:
+            if parent is not None:
+                lane = parent.lane
+            else:
+                lane = current_task_lane() or GLOBAL_LANE
+        with self._lock:
+            seq = self._lane_seq.get(lane, 0)
+            self._lane_seq[lane] = seq + 1
+        span = Span(
+            span_id=format(stable_hash(self.seed, lane, seq), "016x"),
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            lane=lane,
+            seq=seq,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        span._token = _CURRENT_SPAN.set(span)  # type: ignore[attr-defined]
+        return span
+
+    def end_span(self, span: Span, **attrs) -> Span:
+        """Close a span, record it, and restore its parent as current."""
+        span.end = self.now()
+        if attrs:
+            span.attrs.update(attrs)
+        _CURRENT_SPAN.reset(span._token)  # type: ignore[attr-defined]
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def spans(self) -> list:
+        """Finished spans in deterministic ``(lane, seq)`` order."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.lane, s.seq))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

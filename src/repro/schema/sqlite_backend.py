@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import runtime as obs
 from repro.schema.model import Database
 
 _SQL_TYPE = {"text": "TEXT", "integer": "INTEGER", "real": "REAL"}
@@ -173,16 +174,27 @@ class SQLiteExecutor:
             if cached is not None:
                 self.cache_hits += 1
                 self._cache.move_to_end(cache_key)
+                obs.count("executor.cache_hits")
                 return cached
             self.cache_misses += 1
             self.executed += 1
+            obs.count("executor.cache_misses")
+            obs.count("executor.statements")
             conn = self._connections.get(key)
             if conn is None:
                 result = ExecutionResult(error=f"unknown database {key!r}")
             else:
-                result = self._run(conn, sql)
+                with obs.span("sql.execute", db=key):
+                    result = self._run(conn, sql)
             if result.timed_out:
                 self.timeouts += 1
+                obs.count("executor.timeouts")
+                obs.event(
+                    "executor.timeout",
+                    level="warning",
+                    db=key,
+                    timeout_s=self.statement_timeout,
+                )
             self._cache[cache_key] = result
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)

@@ -1,0 +1,101 @@
+"""The metrics registry: keys, counters, gauges, histograms, snapshots."""
+
+import threading
+
+from repro.obs.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    metric_key,
+    parse_metric_key,
+)
+
+
+class TestMetricKeys:
+    def test_bare_name(self):
+        assert metric_key("llm.retries", {}) == "llm.retries"
+
+    def test_labels_sorted(self):
+        key = metric_key("t", {"b": 2, "a": 1})
+        assert key == "t{a=1,b=2}"
+
+    def test_roundtrip(self):
+        key = metric_key("breaker", {"from": "closed", "to": "open"})
+        name, labels = parse_metric_key(key)
+        assert name == "breaker"
+        assert labels == {"from": "closed", "to": "open"}
+
+    def test_parse_bare(self):
+        assert parse_metric_key("plain") == ("plain", {})
+
+
+class TestCounters:
+    def test_count_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 2)
+        reg.count("b", level=1)
+        snap = reg.snapshot()
+        assert snap.counter("a") == 3
+        assert snap.counter("b", level=1) == 1
+        assert snap.counter("missing") == 0
+
+    def test_counter_total_sums_labels(self):
+        reg = MetricsRegistry()
+        reg.count("degrade.level", level=0)
+        reg.count("degrade.level", level=1)
+        reg.count("degrade.level", 3, level=1)
+        snap = reg.snapshot()
+        assert snap.counter_total("degrade.level") == 5
+        assert snap.labelled("degrade.level") == {"0": 1, "1": 4}
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.count("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot().counter("hits") == 8000
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_keeps_latest(self):
+        reg = MetricsRegistry()
+        reg.gauge("breaker.state", 1)
+        reg.gauge("breaker.state", 0)
+        assert reg.snapshot().gauges["breaker.state"] == 0
+
+    def test_histogram_summary(self):
+        hist = HistogramSummary()
+        for value in (0.5, 1.5, 1.0):
+            hist.add(value)
+        assert hist.count == 3
+        assert hist.min == 0.5
+        assert hist.max == 1.5
+        assert abs(hist.mean - 1.0) < 1e-9
+
+    def test_registry_observe(self):
+        reg = MetricsRegistry()
+        reg.observe("wait_s", 0.25)
+        reg.observe("wait_s", 0.75)
+        snap = reg.snapshot()
+        assert snap.histograms["wait_s"].count == 2
+        assert snap.histograms["wait_s"].total == 1.0
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        reg.observe("h", 9.0)
+        assert snap.histograms["h"].count == 1
+
+    def test_as_dict_deterministic_order(self):
+        reg = MetricsRegistry()
+        reg.count("z")
+        reg.count("a")
+        assert list(reg.snapshot().as_dict()["counters"]) == ["a", "z"]

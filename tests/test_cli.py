@@ -86,6 +86,89 @@ class TestEvaluate:
             )
 
 
+class TestTraceAndReport:
+    @pytest.fixture(scope="class")
+    def trace_path(self, corpus_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "run.jsonl"
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "purple",
+                "--consistency", "3",
+                "--limit", "6",
+                "--workers", "4",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_written_and_announced(self, trace_path, capsys):
+        capsys.readouterr()
+        assert trace_path.exists()
+        from repro.obs import read_trace
+
+        trace = read_trace(trace_path)
+        assert trace.meta["version"] == 1
+        assert trace.meta["workers"] == 4
+        assert len(trace.task_spans()) == 6
+        assert trace.named("stage:")
+        assert trace.metrics["counters"]["tasks.evaluated"] == 6
+
+    def test_telemetry_line_printed(self, corpus_dir, capsys, tmp_path):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "zero",
+                "--limit", "4",
+                "--trace-out", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+
+    def test_log_level_streams_events(self, corpus_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "zero",
+                "--limit", "4",
+                "--log-level", "debug",
+            ]
+        )
+        assert code == 0
+        # events stream to stderr, the result line stays on stdout
+        captured = capsys.readouterr()
+        assert "EM" in captured.out
+
+    def test_report_renders_trace(self, trace_path, capsys):
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        for section in (
+            "== Tasks ==",
+            "== Stage profile ==",
+            "== Hardness profile ==",
+            "== Telemetry ==",
+            "== Flame summary ==",
+        ):
+            assert section in out
+
+    def test_report_chrome_export(self, trace_path, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "chrome.json"
+        assert main(["report", str(trace_path), "--chrome", str(chrome)]) == 0
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
 class TestTranslate:
     def test_translate_prints_sql(self, corpus_dir, capsys):
         from repro.spider import Dataset

@@ -1,0 +1,54 @@
+"""Keep console output behind the rendering boundary.
+
+Library code must return strings/dicts and let :mod:`repro.obs.render`
+— the CLI's single rendering module — do the printing.  Ad-hoc
+``print`` calls bypass ``--log-level`` routing, corrupt piped output,
+and cannot be captured by the structured logger.  This scans the AST
+(not text, so docstrings mentioning ``print(`` don't trip it) and fails
+on any ``print`` call outside the render module.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The one module allowed to write to the console.
+ALLOWED = {Path("repro") / "obs" / "render.py"}
+
+
+def print_call_sites():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.relative_to(SRC.parent) in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}:{node.lineno}"
+                )
+    return violations
+
+
+class TestNoPrint:
+    def test_src_tree_scanned(self):
+        assert SRC.is_dir()
+        assert sum(1 for _ in SRC.rglob("*.py")) > 50
+
+    def test_render_module_exists(self):
+        # The allowlist must track the real module, or the lint is vacuous.
+        for allowed in ALLOWED:
+            assert (SRC.parent / allowed).is_file()
+
+    def test_no_print_outside_render(self):
+        violations = print_call_sites()
+        assert not violations, (
+            "print() calls found outside repro/obs/render.py — return the "
+            "text and route it through repro.obs.render (CLI) or the "
+            "structured logger instead:\n" + "\n".join(violations)
+        )
