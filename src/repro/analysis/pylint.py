@@ -1,0 +1,286 @@
+"""Python lint engine: a rule registry over the repo's own source tree.
+
+The repo's source conventions used to live as ad-hoc walkers inside
+individual tests (no ``print`` outside the render module, no unwaived
+broad ``except``).  This module hosts them as registered AST rules over
+one engine, so a convention is written once, surfaces identically in
+``repro lint`` and in the tier-1 tests, and reports through the shared
+:class:`~repro.analysis.diagnostics.Diagnostic` model.
+
+Determinism rules guard the repo's reproducibility discipline: results
+must be a pure function of the seed, so wall-clock reads and the global
+``random`` module are banned outside the whitelisted clock/rng
+utilities, and mutable default arguments (shared state across calls)
+are banned everywhere.
+
+A deliberate exception to a rule is waived per line with
+``# noqa: <rule-id>`` — both the full id (``py.broad-except``) and the
+bare suffix (``broad-except``, the historical marker) are accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Span
+
+#: Default lint root: the installed ``repro`` package itself.
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a rule sees for one file."""
+
+    path: Path  #: path relative to the package parent, e.g. repro/cli.py
+    tree: ast.AST
+    lines: tuple
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered convention."""
+
+    id: str
+    description: str
+    check: Callable[[FileContext], Iterator]
+    #: files (relative to the package parent) exempt from this rule.
+    allowed: frozenset = frozenset()
+
+
+REGISTRY: dict = {}
+
+
+def register(rule: LintRule) -> LintRule:
+    """Add a rule to the registry (id collisions are a bug)."""
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    REGISTRY[rule.id] = rule
+    return rule
+
+
+def rule(rule_id: str, description: str, allowed: Iterable = ()):
+    """Decorator form of :func:`register` for check functions.
+
+    The check receives a :class:`FileContext` and yields
+    ``(node, message)`` or ``(node, message, fix_hint)`` tuples, where
+    ``node`` is any object with ``lineno``/``col_offset``.
+    """
+    def wrap(check: Callable) -> LintRule:
+        return register(LintRule(
+            id=rule_id,
+            description=description,
+            check=check,
+            allowed=frozenset(Path(p) for p in allowed),
+        ))
+    return wrap
+
+
+def _waived(line: str, rule_id: str) -> bool:
+    """Whether a source line waives ``rule_id`` via a noqa comment."""
+    marker = line.partition("# noqa:")[2]
+    if not marker:
+        return False
+    tokens = {t.strip() for t in marker.split(",")}
+    short = rule_id.partition(".")[2]
+    return rule_id in tokens or (short and short in tokens)
+
+
+class LintEngine:
+    """Run the registered rules over a Python source tree."""
+
+    def __init__(self, root: Path = PACKAGE_ROOT, rules: Optional[dict] = None):
+        self.root = Path(root)
+        self.rules = dict(rules) if rules is not None else dict(REGISTRY)
+
+    def files(self) -> list:
+        """All Python files under the root, deterministically ordered."""
+        return sorted(self.root.rglob("*.py"))
+
+    def run(self, files: Optional[Iterable] = None) -> list:
+        """Lint the tree (or an explicit file list) into diagnostics."""
+        diagnostics: list = []
+        for path in (sorted(Path(f) for f in files) if files is not None
+                     else self.files()):
+            diagnostics.extend(self.run_file(path))
+        return diagnostics
+
+    def run_file(self, path: Path) -> list:
+        """All diagnostics for one file."""
+        relative = (
+            path.relative_to(self.root.parent)
+            if path.is_relative_to(self.root.parent) else path
+        )
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Diagnostic(
+                rule="py.syntax-error",
+                message=str(exc),
+                file=str(relative),
+                span=Span(line=exc.lineno or 1, col=exc.offset or 0),
+            )]
+        context = FileContext(
+            path=relative, tree=tree, lines=tuple(source.splitlines())
+        )
+        diagnostics = []
+        for lint_rule in self.rules.values():
+            if relative in lint_rule.allowed:
+                continue
+            for finding in lint_rule.check(context):
+                node, message, *rest = finding
+                lineno = getattr(node, "lineno", 1)
+                line = (
+                    context.lines[lineno - 1]
+                    if 0 < lineno <= len(context.lines) else ""
+                )
+                if _waived(line, lint_rule.id):
+                    continue
+                diagnostics.append(Diagnostic(
+                    rule=lint_rule.id,
+                    message=message,
+                    file=str(relative),
+                    span=Span(line=lineno, col=getattr(node, "col_offset", 0)),
+                    fix_hint=rest[0] if rest else {},
+                ))
+        diagnostics.sort(key=lambda d: (d.file, d.span.line, d.span.col, d.rule))
+        return diagnostics
+
+
+def lint_tree(root: Path = PACKAGE_ROOT) -> list:
+    """One-shot convenience: lint a source tree with all registered rules."""
+    return LintEngine(root).run()
+
+
+# ---------------------------------------------------------------------------
+# Registered rules
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "py.no-print",
+    "print() bypasses the rendering boundary; route output through "
+    "repro.obs.render or the structured logger",
+    allowed=("repro/obs/render.py",),
+)
+def _no_print(ctx: FileContext):
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node, "print() call outside repro/obs/render.py", {
+                "replace_with": "repro.obs.render.out",
+            }
+
+
+def _is_broad(expr: Optional[ast.expr]) -> bool:
+    if expr is None:
+        return True  # bare except:
+    if isinstance(expr, ast.Name):
+        return expr.id in ("Exception", "BaseException")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in ("Exception", "BaseException")
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(item) for item in expr.elts)
+    return False
+
+
+@rule(
+    "py.broad-except",
+    "blanket exception handlers swallow provider faults and real bugs; "
+    "catch a narrow type from the repro.llm.errors taxonomy",
+)
+def _broad_except(ctx: FileContext):
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node.type):
+            caught = "bare except" if node.type is None else ast.unparse(
+                node.type
+            )
+            yield node, f"broad exception handler ({caught})", {
+                "waiver": "# noqa: broad-except",
+            }
+
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today", "datetime.date.today",
+})
+
+
+def _dotted_name(expr: ast.expr) -> Optional[str]:
+    parts: list = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name):
+        return None
+    parts.append(expr.id)
+    return ".".join(reversed(parts))
+
+
+@rule(
+    "py.wall-clock",
+    "wall-clock reads make runs irreproducible; use time.monotonic / "
+    "time.perf_counter for durations or an injectable clock",
+    allowed=("repro/utils/clock.py",),
+)
+def _wall_clock(ctx: FileContext):
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield node, f"wall-clock read {dotted}()", {
+                    "replace_with": "time.monotonic / time.perf_counter",
+                }
+
+
+@rule(
+    "py.stdlib-random",
+    "the global random module breaks seeded reproducibility; derive a "
+    "numpy Generator via repro.utils.rng instead",
+    allowed=("repro/utils/rng.py",),
+)
+def _stdlib_random(ctx: FileContext):
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield node, "import of the stdlib random module", {
+                        "replace_with": "repro.utils.rng.derive_rng",
+                    }
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield node, "import from the stdlib random module", {
+                    "replace_with": "repro.utils.rng.derive_rng",
+                }
+
+
+@rule(
+    "py.mutable-default",
+    "mutable default arguments are shared across calls; default to None "
+    "(or a dataclass field factory) and build inside the function",
+)
+def _mutable_default(ctx: FileContext):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                yield default, f"mutable default argument ({kind} literal)", {
+                    "replace_with": "None, built inside the function body",
+                }

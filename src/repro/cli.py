@@ -10,7 +10,11 @@ Commands:
   dataset with a trained PURPLE pipeline;
 * ``report``    — render a saved JSONL trace as a per-stage / per-hardness
   profile with a text flame summary;
-* ``stats``     — print Table-3 style statistics for saved datasets.
+* ``stats``     — print Table-3 style statistics for saved datasets;
+* ``lint``      — run the registered source-convention rules over a Python
+  tree (exit 1 on findings);
+* ``analyze``   — run the schema-aware SQL semantic analyzer on one query
+  (exit 1 on errors, 2 on warnings only).
 
 All human-facing output goes through :mod:`repro.obs.render`, the CLI's
 single rendering boundary.
@@ -95,7 +99,11 @@ def _make_observer(args):
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.eval import evaluate_approach, performance_summary
+    from repro.eval import (
+        diagnostics_summary,
+        evaluate_approach,
+        performance_summary,
+    )
     from repro.obs import write_trace
 
     train = _load(args.train)
@@ -110,7 +118,7 @@ def _cmd_evaluate(args) -> int:
     observer = _make_observer(args)
     report = evaluate_approach(
         approach, dev, limit=args.limit, workers=args.workers,
-        observer=observer,
+        observer=observer, static_guard=args.static_guard,
     )
     render.out(
         f"{approach.name}: EM {report.em:.1%}  EX {report.ex:.1%}  "
@@ -137,6 +145,14 @@ def _cmd_evaluate(args) -> int:
             f"retries {t.llm_retries}  breaker opens {t.breaker_opens}  "
             f"degraded {t.degraded}  events {t.events}"
         )
+        diags = diagnostics_summary(report)
+        if diags:
+            render.out(
+                f"  static guard: {diags['guard_skipped']} of "
+                f"{diags['guard_checked']} executions avoided "
+                f"({diags['executions_avoided_rate']:.1%})",
+                diags["rules"],
+            )
     if args.by_hardness:
         for metric in ("em", "ex"):
             render.out(f"  {metric.upper()} by hardness:", {
@@ -186,6 +202,61 @@ def _cmd_report(args) -> int:
         Path(args.chrome).write_text(json.dumps(chrome_trace(trace)))
         render.out(f"\nchrome trace -> {args.chrome}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import PACKAGE_ROOT, LintEngine
+
+    root = Path(args.root) if args.root is not None else PACKAGE_ROOT
+    diagnostics = LintEngine(root).run()
+    if args.format == "json":
+        render.out(json.dumps(
+            {
+                "root": str(root),
+                "findings": [d.as_dict() for d in diagnostics],
+            },
+            indent=2,
+        ))
+    else:
+        for diagnostic in diagnostics:
+            render.out(diagnostic.render())
+        render.out(
+            f"{len(diagnostics)} finding(s) in {root}"
+            if diagnostics else f"clean: {root}"
+        )
+    return 1 if diagnostics else 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis import analyze_sql
+
+    dataset = _load(args.dataset)
+    if args.db not in dataset.databases:
+        raise SystemExit(
+            f"unknown db_id {args.db!r}; available: {dataset.db_ids()}"
+        )
+    diagnostics = analyze_sql(args.sql, dataset.database(args.db).schema)
+    if args.format == "json":
+        render.out(json.dumps(
+            {
+                "sql": args.sql,
+                "db_id": args.db,
+                "diagnostics": [d.as_dict() for d in diagnostics],
+            },
+            indent=2,
+        ))
+    else:
+        for diagnostic in diagnostics:
+            render.out(diagnostic.render())
+        if not diagnostics:
+            render.out("clean")
+    if any(d.severity == "error" for d in diagnostics):
+        return 1
+    return 2 if diagnostics else 0
 
 
 def _cmd_stats(args) -> int:
@@ -247,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured events at or above this level to stderr",
     )
     e.add_argument("--by-hardness", action="store_true")
+    e.add_argument(
+        "--static-guard", action="store_true",
+        help="skip executing predictions the static analyzer proves "
+             "fatal (scores are byte-identical either way)",
+    )
     e.set_defaults(func=_cmd_evaluate)
 
     t = sub.add_parser("translate", help="translate one question with PURPLE")
@@ -271,6 +347,25 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="Table-3 statistics for saved datasets")
     s.add_argument("datasets", nargs="+")
     s.set_defaults(func=_cmd_stats)
+
+    li = sub.add_parser(
+        "lint", help="run the source-convention rules over a Python tree"
+    )
+    li.add_argument(
+        "--root", default=None,
+        help="tree to lint (default: the installed repro package)",
+    )
+    li.add_argument("--format", default="text", choices=["text", "json"])
+    li.set_defaults(func=_cmd_lint)
+
+    a = sub.add_parser(
+        "analyze", help="statically analyze one SQL query against a schema"
+    )
+    a.add_argument("sql", help="the SQL text to analyze")
+    a.add_argument("--db", required=True, help="database id in the dataset")
+    a.add_argument("--dataset", default="corpus/dev.json")
+    a.add_argument("--format", default="text", choices=["text", "json"])
+    a.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -3,8 +3,14 @@
 Repairs run **only** on SQL that fails to execute, so valid queries are
 never perturbed ("the SQL adaption strategy does not introduce undesired
 side effects to the valid SQL").  A failing query gets up to
-``max_attempts`` repair rounds; each round applies the first applicable
-heuristic and re-checks executability.
+``max_attempts`` repair rounds.
+
+Each round is *diagnosis-directed*: the static analyzer
+(:mod:`repro.analysis.sqlcheck`) maps the failure to its hallucination
+class, and the matching fixer runs first.  When the diagnosis is empty
+or its fixer does not apply, the round falls back to probing the
+remaining fixers in canonical order — the original behaviour, kept as a
+safety net.
 """
 
 from __future__ import annotations
@@ -12,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.diagnostics import record_diagnostics
+from repro.analysis.sqlcheck import SQLAnalyzer
+from repro.obs import runtime as obs
 from repro.schema import Database, SchemaGraph, SQLiteExecutor
 from repro.sqlkit.ast_nodes import (
     Agg,
@@ -35,12 +44,17 @@ from repro.utils.text import edit_distance
 
 @dataclass
 class RepairOutcome:
-    """What happened to one candidate SQL."""
+    """What happened to one candidate SQL.
+
+    ``diagnosed`` lists the analyzer rule ids that drove the repair
+    rounds (empty when every fix came from the fallback probe).
+    """
 
     sql: str
     repaired: bool = False
     attempts: int = 0
     fixes: tuple = ()
+    diagnosed: tuple = ()
 
 
 class DatabaseAdapter:
@@ -61,45 +75,82 @@ class DatabaseAdapter:
         self.executor = executor
         self.max_attempts = max_attempts
         self.map_functions = map_functions
+        self._analyzers: dict = {}
+
+    def _analyzer(self, database: Database) -> SQLAnalyzer:
+        analyzer = self._analyzers.get(database.db_id)
+        if analyzer is None:
+            analyzer = self._analyzers[database.db_id] = SQLAnalyzer(
+                database.schema
+            )
+        return analyzer
+
+    def diagnose(self, sql: str, database: Database) -> list:
+        """Static diagnostics for ``sql`` against ``database``'s schema."""
+        return self._analyzer(database).analyze(sql)
 
     def adapt(self, sql: str, database: Database) -> RepairOutcome:
         """Repair ``sql`` against ``database`` if (and only if) it fails."""
         key = self.executor.register(database)
         if self.executor.execute(key, sql).ok:
             return RepairOutcome(sql=sql)
-        fixes = []
+        fixes: list = []
+        diagnosed: list = []
         current = sql
         for attempt in range(1, self.max_attempts + 1):
-            fixed = self._apply_one_fix(current, database)
+            fixed = self._apply_one_fix(current, database, diagnosed)
             if fixed is None or fixed == current:
                 return RepairOutcome(
-                    sql=current, repaired=False, attempts=attempt, fixes=tuple(fixes)
+                    sql=current, repaired=False, attempts=attempt,
+                    fixes=tuple(fixes), diagnosed=tuple(diagnosed),
                 )
             current, fix_name = fixed
             fixes.append(fix_name)
             if self.executor.execute(key, current).ok:
                 return RepairOutcome(
-                    sql=current, repaired=True, attempts=attempt, fixes=tuple(fixes)
+                    sql=current, repaired=True, attempts=attempt,
+                    fixes=tuple(fixes), diagnosed=tuple(diagnosed),
                 )
         return RepairOutcome(
-            sql=current, repaired=False, attempts=self.max_attempts, fixes=tuple(fixes)
+            sql=current, repaired=False, attempts=self.max_attempts,
+            fixes=tuple(fixes), diagnosed=tuple(diagnosed),
         )
 
     # -- one repair round ------------------------------------------------------------
 
-    def _apply_one_fix(self, sql: str, database: Database) -> Optional[tuple]:
+    def _apply_one_fix(
+        self, sql: str, database: Database, diagnosed: list
+    ) -> Optional[tuple]:
         try:
             query = parse_sql(sql)
         except SQLError:
             return None
-        for name, fixer in _FIXERS:
-            if name == "function_hallucination":
-                mutated = fixer(query, database, map_functions=self.map_functions)
-            else:
-                mutated = fixer(query, database)
-            if mutated is not None:
-                return render_sql(mutated), name
+        diagnostics = self.diagnose(sql, database)
+        record_diagnostics(diagnostics)
+        classes = {
+            d.error_class for d in diagnostics if d.error_class is not None
+        }
+        directed = [name for name, _ in _FIXERS if name in classes]
+        probed = [name for name, _ in _FIXERS if name not in classes]
+        fixer_by_name = dict(_FIXERS)
+        for phase, names in (("directed", directed), ("probed", probed)):
+            for name in names:
+                mutated = self._run_fixer(fixer_by_name[name], name, query,
+                                          database)
+                if mutated is not None:
+                    if phase == "directed":
+                        diagnosed.extend(
+                            d.rule for d in diagnostics
+                            if d.error_class == name
+                        )
+                    obs.count("adaption.fix", mode=phase)
+                    return render_sql(mutated), name
         return None
+
+    def _run_fixer(self, fixer, name: str, query, database: Database):
+        if name == "function_hallucination":
+            return fixer(query, database, map_functions=self.map_functions)
+        return fixer(query, database)
 
 
 # ---------------------------------------------------------------------------

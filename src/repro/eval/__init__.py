@@ -6,6 +6,7 @@ from repro.eval.exact_match import em_signature, exact_set_match
 from repro.eval.execution import (
     GoldExecutionError,
     execution_match,
+    gold_executes,
     results_equal,
 )
 from repro.eval.harness import (
@@ -19,6 +20,7 @@ from repro.eval.harness import (
 )
 from repro.eval.engine import map_ordered
 from repro.eval.reporting import (
+    diagnostics_summary,
     hardness_table,
     markdown_table,
     performance_summary,
@@ -42,6 +44,7 @@ __all__ = [
     "exact_set_match",
     "GoldExecutionError",
     "execution_match",
+    "gold_executes",
     "results_equal",
     "EvaluationReport",
     "ExampleOutcome",
@@ -55,6 +58,7 @@ __all__ = [
     "TaskTiming",
     "collect_stages",
     "stage",
+    "diagnostics_summary",
     "hardness_table",
     "markdown_table",
     "performance_summary",

@@ -12,10 +12,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
+from repro.analysis.diagnostics import record_diagnostics
+from repro.analysis.sqlcheck import SQLAnalyzer, fatal_diagnostics
 from repro.eval.cost import TokenUsage
 from repro.eval.engine import map_ordered
 from repro.eval.exact_match import exact_set_match
-from repro.eval.execution import GoldExecutionError, execution_match
+from repro.eval.execution import (
+    GoldExecutionError,
+    execution_match,
+    gold_executes,
+)
 from repro.eval.test_suite import TestSuite, build_test_suite
 from repro.eval.timing import RunTiming, stage
 from repro.llm.errors import LLMError
@@ -202,6 +208,7 @@ def evaluate_approach(
     limit: Optional[int] = None,
     workers: int = 1,
     observer=None,
+    static_guard: bool = False,
 ) -> EvaluationReport:
     """Run ``approach`` over ``dataset`` and compute EM/EX (and TS when
     suites are supplied as ``{db_id: TestSuite}``).
@@ -216,10 +223,22 @@ def evaluate_approach(
     stack feeds the metrics registry, and the report's ``telemetry``
     field carries the roll-up.  Outcomes are byte-identical with or
     without one.
+
+    ``static_guard=True`` runs the schema-aware analyzer over each
+    prediction first and skips executing predictions it proves fatal
+    (they can only score EX=False / TS=False); the gold SQL still
+    executes so gold failures surface identically, and EM is computed
+    regardless, so every score is byte-identical with the guard off.
     """
     report = EvaluationReport(approach=approach.name, dataset=dataset.name)
     examples = dataset.examples[:limit] if limit else dataset.examples
     needed_dbs = sorted({ex.db_id for ex in examples})
+    analyzers: dict = {}
+    if static_guard:
+        analyzers = {
+            db_id: SQLAnalyzer(dataset.database(db_id).schema)
+            for db_id in needed_dbs
+        }
 
     # One scoring executor per worker thread, created on first use and
     # closed when the run is over.
@@ -269,11 +288,25 @@ def evaluate_approach(
                 retries=0,
             )
         eval_error = None
+        doomed = False
         with stage("execute"):
             try:
-                ex = execution_match(
-                    _executor(), example.db_id, example.sql, result.sql
-                )
+                if static_guard:
+                    diagnostics = analyzers[example.db_id].analyze(result.sql)
+                    record_diagnostics(diagnostics)
+                    obs.count("guard.checked")
+                    doomed = bool(fatal_diagnostics(diagnostics))
+                if doomed:
+                    # Statically proven to fail: EX is False without
+                    # executing the prediction.  The gold still runs so
+                    # broken gold SQL surfaces exactly as it would have.
+                    obs.count("guard.skipped")
+                    gold_executes(_executor(), example.db_id, example.sql)
+                    ex = False
+                else:
+                    ex = execution_match(
+                        _executor(), example.db_id, example.sql, result.sql
+                    )
             except GoldExecutionError as exc:
                 ex = False
                 eval_error = str(exc)
@@ -292,7 +325,16 @@ def evaluate_approach(
                 and test_suites is not None
                 and example.db_id in test_suites
             ):
-                ts = test_suites[example.db_id].match(example.sql, result.sql)
+                if doomed:
+                    # The suite's base is this dataset database, where the
+                    # gold just executed cleanly; a statically-fatal
+                    # prediction fails there, so match() returns False on
+                    # its first key without running anything.
+                    ts = False
+                else:
+                    ts = test_suites[example.db_id].match(
+                        example.sql, result.sql
+                    )
         obs.annotate(
             em=em,
             ex=ex,

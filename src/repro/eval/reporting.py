@@ -58,6 +58,32 @@ def telemetry_summary(report: EvaluationReport) -> dict:
     return report.telemetry.as_dict()
 
 
+def diagnostics_summary(report: EvaluationReport) -> dict:
+    """Static-analysis roll-up: guard activity plus per-rule counts.
+
+    Empty for unobserved runs, or observed runs where the analyzer never
+    fired (guard off and no diagnosis-directed repairs).
+    """
+    telemetry = report.telemetry
+    if telemetry is None:
+        return {}
+    if not (
+        telemetry.guard_checked
+        or telemetry.guard_skipped
+        or telemetry.diagnostics
+    ):
+        return {}
+    checked = telemetry.guard_checked
+    return {
+        "guard_checked": checked,
+        "guard_skipped": telemetry.guard_skipped,
+        "executions_avoided_rate": (
+            round(telemetry.guard_skipped / checked, 4) if checked else 0.0
+        ),
+        "rules": dict(telemetry.diagnostics),
+    }
+
+
 def performance_table(report: EvaluationReport) -> str:
     """Markdown rendering of :func:`performance_summary` (one run)."""
     summary = performance_summary(report)

@@ -37,6 +37,11 @@ class RunTelemetry:
     executor_timeouts: int = 0
     executor_cache_hits: int = 0
     executor_cache_misses: int = 0
+    #: Static pre-execution guard: predictions checked and skipped.
+    guard_checked: int = 0
+    guard_skipped: int = 0
+    #: Per-rule static-analysis counts: ``{"sql.unknown-column": 4, ...}``.
+    diagnostics: dict = field(default_factory=dict)
     events: int = 0
 
     @property
@@ -75,6 +80,11 @@ class RunTelemetry:
             executor_timeouts=snapshot.counter("executor.timeouts"),
             executor_cache_hits=snapshot.counter("executor.cache_hits"),
             executor_cache_misses=snapshot.counter("executor.cache_misses"),
+            guard_checked=snapshot.counter("guard.checked"),
+            guard_skipped=snapshot.counter("guard.skipped"),
+            diagnostics=dict(
+                sorted(snapshot.labelled("analysis.rule").items())
+            ),
             events=events,
         )
 
@@ -98,5 +108,8 @@ class RunTelemetry:
             "executor_timeouts": self.executor_timeouts,
             "executor_cache_hits": self.executor_cache_hits,
             "executor_cache_misses": self.executor_cache_misses,
+            "guard_checked": self.guard_checked,
+            "guard_skipped": self.guard_skipped,
+            "diagnostics": self.diagnostics,
             "events": self.events,
         }

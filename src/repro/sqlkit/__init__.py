@@ -44,6 +44,7 @@ from repro.sqlkit.hardness import Hardness, classify_hardness
 from repro.sqlkit.parser import parse_sql
 from repro.sqlkit.render import render_sql
 from repro.sqlkit.skeleton import PLACEHOLDER, extract_skeleton, skeleton_tokens
+from repro.sqlkit.spans import identifier_span, identifier_spans, token_at
 from repro.sqlkit.tokens import Token, TokenKind, tokenize
 
 __all__ = [
@@ -82,6 +83,9 @@ __all__ = [
     "PLACEHOLDER",
     "extract_skeleton",
     "skeleton_tokens",
+    "identifier_span",
+    "identifier_spans",
+    "token_at",
     "Token",
     "TokenKind",
     "tokenize",

@@ -1,0 +1,57 @@
+"""Source-span lookup over tokenized SQL.
+
+The tokenizer records each token's character offset; this module turns
+those offsets into identifier spans so diagnostics can point at the
+offending name inside the original statement rather than just naming it.
+SQL here is one logical line, so spans are ``(offset, length)`` pairs
+within the statement string.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlkit.errors import SQLError
+from repro.sqlkit.tokens import Token, TokenKind, tokenize
+
+
+def identifier_spans(sql: str, name: str) -> list[tuple[int, int]]:
+    """All ``(offset, length)`` spans of identifier ``name`` in ``sql``.
+
+    Matching is case-insensitive and covers keywords used as identifiers
+    (the tokenizer upper-cases keywords, so both kinds are checked).
+    Returns an empty list when the SQL cannot be tokenized.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SQLError:
+        return []
+    target = name.lower()
+    spans = []
+    for token in tokens:
+        if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            if token.value.lower() == target:
+                spans.append((token.position, len(token.value)))
+    return spans
+
+
+def identifier_span(
+    sql: str, name: str, occurrence: int = 0
+) -> Optional[tuple[int, int]]:
+    """The ``occurrence``-th span of identifier ``name``, or None."""
+    spans = identifier_spans(sql, name)
+    if 0 <= occurrence < len(spans):
+        return spans[occurrence]
+    return None
+
+
+def token_at(sql: str, offset: int) -> Optional[Token]:
+    """The token covering character ``offset``, or None."""
+    try:
+        tokens = tokenize(sql)
+    except SQLError:
+        return None
+    for token in tokens:
+        if token.position <= offset < token.position + len(token.value):
+            return token
+    return None

@@ -1,0 +1,106 @@
+"""Unit tests for the Python lint engine and its registered rules."""
+
+import pytest
+
+from repro.analysis import REGISTRY, LintEngine, LintRule, lint_tree
+from repro.analysis.pylint import register
+
+
+def run_rule(tmp_path, rule_id, source, name="mod.py"):
+    (tmp_path / name).write_text(source)
+    engine = LintEngine(root=tmp_path, rules={rule_id: REGISTRY[rule_id]})
+    return engine.run()
+
+
+class TestEngine:
+    def test_registry_has_the_five_conventions(self):
+        assert set(REGISTRY) >= {
+            "py.no-print",
+            "py.broad-except",
+            "py.wall-clock",
+            "py.stdlib-random",
+            "py.mutable-default",
+        }
+
+    def test_duplicate_rule_id_rejected(self):
+        existing = next(iter(REGISTRY.values()))
+        with pytest.raises(ValueError):
+            register(LintRule(
+                id=existing.id, description="dup", check=lambda ctx: iter(()),
+            ))
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        findings = LintEngine(root=tmp_path).run()
+        assert [d.rule for d in findings] == ["py.syntax-error"]
+
+    def test_findings_sorted_and_located(self, tmp_path):
+        source = "import random\nprint('x')\n"
+        (tmp_path / "mod.py").write_text(source)
+        findings = LintEngine(root=tmp_path, rules={
+            rid: REGISTRY[rid] for rid in ("py.no-print", "py.stdlib-random")
+        }).run()
+        assert [(d.rule, d.span.line) for d in findings] == [
+            ("py.stdlib-random", 1), ("py.no-print", 2),
+        ]
+
+    def test_explicit_file_list(self, tmp_path):
+        (tmp_path / "a.py").write_text("print('a')\n")
+        (tmp_path / "b.py").write_text("print('b')\n")
+        engine = LintEngine(
+            root=tmp_path, rules={"py.no-print": REGISTRY["py.no-print"]}
+        )
+        findings = engine.run(files=[tmp_path / "b.py"])
+        assert len(findings) == 1
+        assert findings[0].file.endswith("b.py")
+
+    def test_waiver_accepts_full_and_bare_id(self, tmp_path):
+        source = (
+            "print('a')  # noqa: py.no-print\n"
+            "print('b')  # noqa: no-print\n"
+            "print('c')  # noqa: other-rule\n"
+        )
+        findings = run_rule(tmp_path, "py.no-print", source)
+        assert [d.span.line for d in findings] == [3]
+
+
+class TestDeterminismRules:
+    def test_wall_clock_calls_flagged(self, tmp_path):
+        source = (
+            "import time\nimport datetime\n"
+            "a = time.time()\n"
+            "b = datetime.datetime.now()\n"
+            "c = time.monotonic()\n"
+            "d = time.perf_counter()\n"
+        )
+        findings = run_rule(tmp_path, "py.wall-clock", source)
+        assert [d.span.line for d in findings] == [3, 4]
+
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        source = "import random\nfrom random import choice\n"
+        findings = run_rule(tmp_path, "py.stdlib-random", source)
+        assert [d.span.line for d in findings] == [1, 2]
+
+    def test_numpy_random_not_flagged(self, tmp_path):
+        source = "from numpy.random import default_rng\nimport numpy\n"
+        assert run_rule(tmp_path, "py.stdlib-random", source) == []
+
+    def test_mutable_defaults_flagged(self, tmp_path):
+        source = (
+            "def f(a, b=[], *, c={}):\n    return a\n"
+            "def g(a, b=None, c=()):\n    return a\n"
+            "h = lambda xs=set(): xs\n"
+        )
+        findings = run_rule(tmp_path, "py.mutable-default", source)
+        # set() is a call, not a literal — only the list and dict literals.
+        assert [d.span.line for d in findings] == [1, 1]
+
+    def test_fix_hints_are_machine_readable(self, tmp_path):
+        findings = run_rule(tmp_path, "py.wall-clock", "import time\nt = time.time()\n")
+        assert findings[0].fix_hint["replace_with"]
+
+
+class TestSelfClean:
+    def test_package_tree_is_clean(self):
+        findings = lint_tree()
+        assert findings == [], "\n".join(d.render() for d in findings)

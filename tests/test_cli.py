@@ -169,6 +169,123 @@ class TestTraceAndReport:
         assert any(e["ph"] == "X" for e in payload["traceEvents"])
 
 
+class TestLint:
+    def test_package_tree_is_clean_exit_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("print('hi')\n")
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        assert "py.no-print" in capsys.readouterr().out
+
+    def test_json_format_shape(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "mod.py").write_text("import random\n")
+        assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "py.stdlib-random"
+        assert finding["severity"] == "error"
+        assert finding["span"]["line"] == 1
+
+    def test_json_format_clean_tree(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--root", str(tmp_path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestAnalyze:
+    def _dev(self, corpus_dir):
+        return str(corpus_dir / "dev.json")
+
+    def test_clean_query_exit_zero(self, corpus_dir, capsys):
+        code = main([
+            "analyze", "SELECT name FROM doctor",
+            "--db", "hospitals", "--dataset", self._dev(corpus_dir),
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_exit_one(self, corpus_dir, capsys):
+        code = main([
+            "analyze", "SELECT ghost FROM doctor",
+            "--db", "hospitals", "--dataset", self._dev(corpus_dir),
+        ])
+        assert code == 1
+        assert "sql.unknown-column" in capsys.readouterr().out
+
+    def test_warning_only_exit_two(self, corpus_dir, capsys):
+        code = main([
+            "analyze", "SELECT name, COUNT(*) FROM doctor",
+            "--db", "hospitals", "--dataset", self._dev(corpus_dir),
+        ])
+        assert code == 2
+        assert "sql.ungrouped-column" in capsys.readouterr().out
+
+    def test_json_format_shape(self, corpus_dir, capsys):
+        import json
+
+        code = main([
+            "analyze", "SELECT ghost FROM doctor",
+            "--db", "hospitals", "--dataset", self._dev(corpus_dir),
+            "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["db_id"] == "hospitals"
+        (diag,) = payload["diagnostics"]
+        assert diag["rule"] == "sql.unknown-column"
+        assert diag["fix_hint"]["error_class"] == "schema_hallucination"
+
+    def test_unknown_db_rejected(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main([
+                "analyze", "SELECT 1",
+                "--db", "ghost", "--dataset", self._dev(corpus_dir),
+            ])
+
+
+class TestStaticGuard:
+    def test_guard_scores_match_unguarded(self, corpus_dir, capsys):
+        args = [
+            "evaluate",
+            "--train", str(corpus_dir / "train.json"),
+            "--dev", str(corpus_dir / "dev.json"),
+            "--approach", "zero",
+            "--limit", "8",
+        ]
+        assert main(args) == 0
+        baseline = capsys.readouterr().out
+        assert main(args + ["--static-guard"]) == 0
+        guarded = capsys.readouterr().out
+
+        def result_line(text):
+            return next(l for l in text.splitlines() if "EM " in l)
+
+        # The result line (EM/EX/tokens) must be byte-identical.
+        assert result_line(baseline) == result_line(guarded)
+
+    def test_guard_telemetry_line(self, corpus_dir, capsys, tmp_path):
+        code = main([
+            "evaluate",
+            "--train", str(corpus_dir / "train.json"),
+            "--dev", str(corpus_dir / "dev.json"),
+            "--approach", "zero",
+            "--limit", "8",
+            "--static-guard",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static guard:" in out
+        assert "executions avoided" in out
+
+
 class TestTranslate:
     def test_translate_prints_sql(self, corpus_dir, capsys):
         from repro.spider import Dataset

@@ -2,35 +2,47 @@
 
 Broad handlers are how provider faults and real bugs get silently
 swallowed; the typed :mod:`repro.llm.errors` taxonomy exists so callers
-can catch exactly what they mean.  A deliberate broad handler must say
-so with a ``# noqa: broad-except`` marker on the same line.
+can catch exactly what they mean.  The convention lives as the
+registered ``py.broad-except`` rule in :mod:`repro.analysis.pylint`
+(AST-based: it sees bare ``except:``, ``Exception``/``BaseException``
+by name, attribute, or inside a tuple); a deliberate broad handler is
+waived with ``# noqa: broad-except`` on the same line.
 """
 
-import re
-from pathlib import Path
+from repro.analysis import PACKAGE_ROOT, REGISTRY, LintEngine
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: ``except:`` or ``except Exception`` (bare, aliased, or in a tuple).
-BROAD = re.compile(r"^\s*except\s*(:|(\(?\s*)?(BaseException|Exception)\b)")
+RULE = "py.broad-except"
 WAIVER = "# noqa: broad-except"
 
 
 def broad_except_lines():
-    violations = []
-    for path in sorted(SRC.rglob("*.py")):
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if BROAD.match(line) and WAIVER not in line:
-                violations.append(
-                    f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}"
-                )
-    return violations
+    engine = LintEngine(rules={RULE: REGISTRY[RULE]})
+    return [d.render() for d in engine.run()]
 
 
 class TestNoBroadExcept:
     def test_src_tree_scanned(self):
-        assert SRC.is_dir()
-        assert sum(1 for _ in SRC.rglob("*.py")) > 50
+        assert PACKAGE_ROOT.is_dir()
+        assert len(LintEngine().files()) > 50
+
+    def test_rule_detects_broad_handlers(self, tmp_path):
+        # The engine must flag every broad form, or the gate is vacuous.
+        offender = tmp_path / "mod.py"
+        offender.write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+            "try:\n    pass\nexcept (ValueError, BaseException):\n    pass\n"
+            "try:\n    pass\nexcept:\n    pass\n"
+        )
+        engine = LintEngine(root=tmp_path, rules={RULE: REGISTRY[RULE]})
+        assert [d.rule for d in engine.run()] == [RULE] * 3
+
+    def test_waiver_suppresses_on_its_line(self, tmp_path):
+        waived = tmp_path / "mod.py"
+        waived.write_text(
+            f"try:\n    pass\nexcept Exception:  {WAIVER}\n    pass\n"
+        )
+        engine = LintEngine(root=tmp_path, rules={RULE: REGISTRY[RULE]})
+        assert engine.run() == []
 
     def test_no_unwaived_broad_handlers(self):
         violations = broad_except_lines()

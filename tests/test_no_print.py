@@ -1,49 +1,42 @@
 """Keep console output behind the rendering boundary.
 
 Library code must return strings/dicts and let :mod:`repro.obs.render`
-— the CLI's single rendering module — do the printing.  Ad-hoc
-``print`` calls bypass ``--log-level`` routing, corrupt piped output,
-and cannot be captured by the structured logger.  This scans the AST
-(not text, so docstrings mentioning ``print(`` don't trip it) and fails
-on any ``print`` call outside the render module.
+— the CLI's single rendering module — do the printing.  The convention
+itself lives as the registered ``py.no-print`` rule in
+:mod:`repro.analysis.pylint` (AST-based, so docstrings mentioning
+``print(`` don't trip it); this test is the tier-1 assertion that the
+source tree satisfies it.
 """
 
-import ast
-from pathlib import Path
+from repro.analysis import PACKAGE_ROOT, REGISTRY, LintEngine
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: The one module allowed to write to the console.
-ALLOWED = {Path("repro") / "obs" / "render.py"}
+RULE = "py.no-print"
 
 
 def print_call_sites():
-    violations = []
-    for path in sorted(SRC.rglob("*.py")):
-        if path.relative_to(SRC.parent) in ALLOWED:
-            continue
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "print"
-            ):
-                violations.append(
-                    f"{path.relative_to(SRC.parent)}:{node.lineno}"
-                )
-    return violations
+    engine = LintEngine(rules={RULE: REGISTRY[RULE]})
+    return [d.render() for d in engine.run()]
 
 
 class TestNoPrint:
     def test_src_tree_scanned(self):
-        assert SRC.is_dir()
-        assert sum(1 for _ in SRC.rglob("*.py")) > 50
+        assert PACKAGE_ROOT.is_dir()
+        assert len(LintEngine().files()) > 50
 
     def test_render_module_exists(self):
         # The allowlist must track the real module, or the lint is vacuous.
-        for allowed in ALLOWED:
-            assert (SRC.parent / allowed).is_file()
+        for allowed in REGISTRY[RULE].allowed:
+            assert (PACKAGE_ROOT.parent / allowed).is_file()
+        assert REGISTRY[RULE].allowed, "rule must exempt the render module"
+
+    def test_rule_detects_print(self, tmp_path):
+        # The engine must actually flag a print call, or the gate is vacuous.
+        offender = tmp_path / "mod.py"
+        offender.write_text("print('hi')\n")
+        engine = LintEngine(root=tmp_path, rules={RULE: REGISTRY[RULE]})
+        findings = engine.run()
+        assert [d.rule for d in findings] == [RULE]
+        assert findings[0].span.line == 1
 
     def test_no_print_outside_render(self):
         violations = print_call_sites()
