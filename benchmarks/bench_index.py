@@ -1,0 +1,166 @@
+"""The persistent demonstration store — not a paper table.
+
+Cold build (parse every pool demonstration) vs warm load (reconstruct
+the four automatons from stored skeletons, no SQL parsing) vs the
+pre-store worst case (every worker rebuilding its own index), at
+several pool sizes.
+
+Gates (ISSUE): at the largest pool the warm load is ≥5x faster than a
+cold build, and a warm-started PURPLE run is *byte-identical* to a
+cold-built one — same demonstration selections, same EM/EX/TS.  All
+measured figures land in results.json under ``index``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import print_table
+from benchmarks.conftest import LLM_SEED
+from repro import api
+from repro.core.automaton import AutomatonIndex
+from repro.core.config import PurpleConfig
+from repro.core.selection import select_demonstrations
+from repro.core.skeleton_prediction import PredictedSkeleton
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT, MockLLM
+from repro.sqlkit.skeleton import skeleton_tokens
+from repro.store import DemoStore, clear_shared_stores
+from repro.utils.rng import derive_rng
+
+SUBSET = 24
+WORKERS = 4
+REPEATS = 3
+MIN_SPEEDUP = 5.0
+
+
+def best_of(fn, repeats=REPEATS):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best, result = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def pool_sqls(corpus):
+    return [ex.sql for ex in corpus.train]
+
+
+@pytest.fixture(scope="module")
+def timings(pool_sqls, tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench_index")
+    sizes = sorted({len(pool_sqls) // 4, len(pool_sqls) // 2,
+                    len(pool_sqls)})
+    rows = []
+    for size in sizes:
+        pool = pool_sqls[:size]
+        path = root / f"pool{size}.demostore"
+        cold_s, store = best_of(lambda: DemoStore.build(pool))
+        store.save(path)
+        warm_s, loaded = best_of(lambda: DemoStore.load(path))
+        worker_rebuild_s, _ = best_of(
+            lambda: [AutomatonIndex.build(pool) for _ in range(WORKERS)],
+            repeats=1,
+        )
+        assert loaded.manifest.as_dict() == store.manifest.as_dict()
+        rows.append({
+            "pool_size": size,
+            "store_bytes": path.stat().st_size,
+            "cold_build_s": round(cold_s, 4),
+            "warm_load_s": round(warm_s, 4),
+            "per_worker_rebuild_s": round(worker_rebuild_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def equivalence(corpus, suites, tmp_path_factory):
+    """Cold-built vs warm-started PURPLE over the same dev subset."""
+    clear_shared_stores()
+    store_path = tmp_path_factory.mktemp("bench_index_eq") / "train.demostore"
+    DemoStore.build([ex.sql for ex in corpus.train]).save(store_path)
+
+    def build(**overrides):
+        return api.create(
+            "purple", llm=MockLLM(CHATGPT, seed=LLM_SEED),
+            train=corpus.train, consistency_n=3, **overrides,
+        )
+
+    cold = build()
+    warm = build(store_path=str(store_path), offline_index=True)
+    reports = {
+        "cold": evaluate_approach(
+            cold, corpus.dev, test_suites=suites, limit=SUBSET,
+            workers=WORKERS,
+        ),
+        "warm": evaluate_approach(
+            warm, corpus.dev, test_suites=suites, limit=SUBSET,
+            workers=WORKERS,
+        ),
+    }
+
+    # Selection parity, probed directly against both automatons with the
+    # dev gold skeletons: byte-identical demonstration orderings.
+    selections = {}
+    for name, approach in (("cold", cold), ("warm", warm)):
+        config = PurpleConfig()
+        picks = []
+        for ex in list(corpus.dev)[:SUBSET]:
+            skeleton = PredictedSkeleton(
+                tokens=tuple(skeleton_tokens(ex.sql)), probability=1.0
+            )
+            picks.append(select_demonstrations(
+                approach.automaton, [skeleton], config,
+                rng=derive_rng(config.seed, "bench-index", ex.db_id),
+            ))
+        selections[name] = picks
+    clear_shared_stores()
+    return cold, warm, reports, selections
+
+
+def test_warm_load_speedup(timings, record):
+    largest = timings[-1]
+    print_table(
+        f"Demonstration store — cold build vs warm load "
+        f"(best of {REPEATS}, gate ≥{MIN_SPEEDUP:.0f}x at n={largest['pool_size']})",
+        ["Pool", "Bytes", "Cold s", "Warm s", f"{WORKERS}x rebuild s",
+         "Speedup"],
+        [
+            (r["pool_size"], r["store_bytes"], r["cold_build_s"],
+             r["warm_load_s"], r["per_worker_rebuild_s"], f"{r['speedup']}x")
+            for r in timings
+        ],
+    )
+    assert largest["speedup"] >= MIN_SPEEDUP, timings
+    record("index", {
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "pools": timings,
+    })
+
+
+def test_warm_equals_cold_byte_identical(equivalence, timings, record):
+    cold, warm, reports, selections = equivalence
+    assert cold.index_stats["source"] == "cold"
+    assert warm.index_stats["source"] == "warm"
+    assert selections["warm"] == selections["cold"]
+    assert reports["warm"].outcomes == reports["cold"].outcomes
+    for metric in ("em", "ex", "ts"):
+        assert getattr(reports["warm"], metric) == (
+            getattr(reports["cold"], metric)
+        ), metric
+    record("index_equivalence", {
+        "tasks": SUBSET,
+        "workers": WORKERS,
+        "selections_identical": True,
+        "outcomes_identical": True,
+        "em": reports["warm"].em,
+        "ex": reports["warm"].ex,
+        "ts": reports["warm"].ts,
+    })

@@ -264,6 +264,32 @@ def _stdlib_random(ctx: FileContext):
                 }
 
 
+#: Packages whose public API surface must be self-documenting: the
+#: paper-facing core pipeline and the persistent demonstration store.
+_DOCSTRING_ROOTS = ("repro/core", "repro/store")
+
+
+@rule(
+    "py.missing-docstring",
+    "public functions in repro/core and repro/store are the paper-facing "
+    "API surface; each needs a non-empty docstring",
+)
+def _missing_docstring(ctx: FileContext):
+    if not str(ctx.path).startswith(_DOCSTRING_ROOTS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        docstring = ast.get_docstring(node)
+        if not docstring or not docstring.strip():
+            yield node, f"public function {node.name}() has no docstring", {
+                "replace_with": "a one-line summary of behaviour and "
+                                "parameters",
+            }
+
+
 @rule(
     "py.mutable-default",
     "mutable default arguments are shared across calls; default to None "

@@ -11,6 +11,9 @@ Commands:
 * ``report``    — render a saved JSONL trace as a per-stage / per-hardness
   profile with a text flame summary;
 * ``stats``     — print Table-3 style statistics for saved datasets;
+* ``index``     — manage the persistent demonstration store
+  (``index build`` precomputes it offline, ``index verify`` exits 1 on a
+  corrupt or mismatched store, ``index info`` prints the manifest);
 * ``lint``      — run the registered source-convention rules over a Python
   tree (exit 1 on findings);
 * ``analyze``   — run the schema-aware SQL semantic analyzer on one query
@@ -72,16 +75,28 @@ def _make_llm(llm_name: str, cache_dir=None):
 
 
 def _build_approach(name: str, llm, train: Dataset, budget: int,
-                    consistency: int):
+                    consistency: int, store=None, offline_index=False):
     from repro import api
+
+    extra = {}
+    if store is not None or offline_index:
+        if name != "purple":
+            raise SystemExit(
+                "--store/--offline-index apply to the purple approach only"
+            )
+        extra = {"store_path": store, "offline_index": offline_index}
+    from repro.store import StoreError
 
     try:
         return api.create(
             name, llm=llm, train=train, budget=budget,
-            consistency_n=consistency,
+            consistency_n=consistency, **extra,
         )
     except api.UnknownApproachError as exc:
         raise SystemExit(str(exc))
+    except StoreError as exc:
+        # Strict offline mode refused a missing/stale store.
+        raise SystemExit(f"demonstration store: {exc}")
 
 
 def _make_observer(args):
@@ -106,16 +121,22 @@ def _cmd_evaluate(args) -> int:
     )
     from repro.obs import write_trace
 
+    from contextlib import nullcontext
+
     train = _load(args.train)
     dev = _load(args.dev)
     render.out(
         f"Training {args.approach} ({args.llm}) on {len(train)} demos ..."
     )
-    llm = _make_llm(args.llm, cache_dir=args.cache_dir)
-    approach = _build_approach(
-        args.approach, llm, train, args.budget, args.consistency
-    )
     observer = _make_observer(args)
+    # Scope construction under the observer too, so index build/load
+    # spans and metrics from fit land in the trace.
+    with observer.activate() if observer is not None else nullcontext():
+        llm = _make_llm(args.llm, cache_dir=args.cache_dir)
+        approach = _build_approach(
+            args.approach, llm, train, args.budget, args.consistency,
+            store=args.store, offline_index=args.offline_index,
+        )
     report = evaluate_approach(
         approach, dev, limit=args.limit, workers=args.workers,
         observer=observer, static_guard=args.static_guard,
@@ -183,7 +204,9 @@ def _cmd_translate(args) -> int:
             f"unknown db_id {args.db_id!r}; available: {dev.db_ids()}"
         )
     approach = _build_approach("purple", _make_llm(args.llm), train,
-                               args.budget, args.consistency)
+                               args.budget, args.consistency,
+                               store=args.store,
+                               offline_index=args.offline_index)
     result = approach.translate(
         TranslationTask(question=args.question, database=dev.database(args.db_id))
     )
@@ -259,6 +282,62 @@ def _cmd_analyze(args) -> int:
     return 2 if diagnostics else 0
 
 
+def _cmd_index_build(args) -> int:
+    from repro.store import DemoStore
+
+    train = _load(args.train)
+    render.out(f"Indexing {len(train)} demonstrations ...")
+    store = DemoStore.build([ex.sql for ex in train])
+    path = store.save(args.out)
+    size = path.stat().st_size
+    states = ":".join(
+        str(v) for _, v in sorted(store.manifest.state_counts.items())
+    )
+    render.out(
+        f"Built store {path} ({size} bytes): {store.manifest.pool_size} "
+        f"demos, end states {states}, pool hash "
+        f"{store.manifest.pool_hash[:12]}…"
+    )
+    return 0
+
+
+def _cmd_index_verify(args) -> int:
+    from repro.store import DemoStore, StoreError
+
+    try:
+        store = DemoStore.load(args.store)
+    except StoreError as exc:
+        render.out(f"FAIL {args.store}: {exc}")
+        return 1
+    problems = store.self_check(deep=args.deep)
+    if args.train is not None:
+        train = _load(args.train)
+        problems.extend(store.verify_against([ex.sql for ex in train]))
+    if problems:
+        for problem in problems:
+            render.out(f"FAIL {args.store}: {problem}")
+        return 1
+    render.out(
+        f"ok: {args.store} ({store.manifest.pool_size} demos, "
+        f"pool hash {store.manifest.pool_hash[:12]}…)"
+    )
+    return 0
+
+
+def _cmd_index_info(args) -> int:
+    import json
+
+    from repro.store import StoreError, read_manifest
+
+    try:
+        manifest = read_manifest(args.store)
+    except StoreError as exc:
+        render.out(f"FAIL {args.store}: {exc}")
+        return 1
+    render.out(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_stats(args) -> int:
     for path in args.datasets:
         stats = benchmark_statistics(_load(path))
@@ -317,6 +396,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error", "off"],
         help="stream structured events at or above this level to stderr",
     )
+    e.add_argument(
+        "--store", default=None,
+        help="warm-start the demonstration index from this store file "
+             "(purple only; built on first use, reused while fresh)",
+    )
+    e.add_argument(
+        "--offline-index", action="store_true",
+        help="strict mode: error out instead of rebuilding when --store "
+             "is missing or stale",
+    )
     e.add_argument("--by-hardness", action="store_true")
     e.add_argument(
         "--static-guard", action="store_true",
@@ -333,6 +422,14 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--llm", default="gpt4", choices=["chatgpt", "gpt4"])
     t.add_argument("--budget", type=int, default=3072)
     t.add_argument("--consistency", type=int, default=10)
+    t.add_argument(
+        "--store", default=None,
+        help="warm-start the demonstration index from this store file",
+    )
+    t.add_argument(
+        "--offline-index", action="store_true",
+        help="strict mode: error out instead of rebuilding a stale store",
+    )
     t.set_defaults(func=_cmd_translate)
 
     r = sub.add_parser("report", help="render a saved JSONL run trace")
@@ -347,6 +444,38 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="Table-3 statistics for saved datasets")
     s.add_argument("datasets", nargs="+")
     s.set_defaults(func=_cmd_stats)
+
+    ix = sub.add_parser(
+        "index", help="manage the persistent demonstration store"
+    )
+    ix_sub = ix.add_subparsers(dest="index_command", required=True)
+
+    ib = ix_sub.add_parser(
+        "build", help="precompute the demonstration store offline"
+    )
+    ib.add_argument("--train", default="corpus/train.json")
+    ib.add_argument("--out", default="corpus/train.demostore")
+    ib.set_defaults(func=_cmd_index_build)
+
+    iv = ix_sub.add_parser(
+        "verify",
+        help="check a store's integrity/freshness (exit 1 on any problem)",
+    )
+    iv.add_argument("--store", required=True)
+    iv.add_argument(
+        "--train", default=None,
+        help="also verify the store matches this saved demonstration pool",
+    )
+    iv.add_argument(
+        "--deep", action="store_true",
+        help="re-parse every embedded SQL and compare against the stored "
+             "skeletons (catches skeletonizer drift)",
+    )
+    iv.set_defaults(func=_cmd_index_verify)
+
+    ii = ix_sub.add_parser("info", help="print a store's manifest as JSON")
+    ii.add_argument("--store", required=True)
+    ii.set_defaults(func=_cmd_index_info)
 
     li = sub.add_parser(
         "lint", help="run the source-convention rules over a Python tree"

@@ -11,6 +11,7 @@ Every module can be switched off for the Table-6 ablations via
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.api.registry import register
@@ -31,6 +32,7 @@ from repro.eval.timing import stage
 from repro.llm.degrade import best_effort_sql, retries_so_far, run_ladder
 from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
+from repro.obs import runtime as obs
 from repro.plm.classifier import train_schema_classifier
 from repro.plm.skeleton_model import train_skeleton_predictor
 from repro.schema import SQLiteExecutor
@@ -57,6 +59,8 @@ class Purple:
         self.pruner: Optional[SchemaPruner] = None
         self.skeleton_module: Optional[SkeletonPredictionModule] = None
         self.automaton: Optional[AutomatonIndex] = None
+        self.store = None  # repro.store.DemoStore on the warm-start path
+        self.index_stats: dict = {}
         self.prompt_builder: Optional[PromptBuilder] = None
         self.oracle_skeletons: dict = {}
 
@@ -81,11 +85,47 @@ class Purple:
         self.skeleton_module = SkeletonPredictionModule(
             predictor=predictor, top_k=cfg.top_k_skeletons
         )
-        self.automaton = AutomatonIndex.build([ex.sql for ex in demo_pool])
+        self._index_pool([ex.sql for ex in demo_pool])
         self.prompt_builder = PromptBuilder(
             demo_pool, values_per_column=cfg.values_per_column
         )
         return self
+
+    def _index_pool(self, demo_sqls: list) -> None:
+        """Index the demonstration pool, warm-starting when configured.
+
+        With :attr:`PurpleConfig.store_path` set, the four-level
+        automaton comes from the persistent demonstration store — built
+        once offline (or on first use), loaded without SQL parsing, and
+        shared read-only across every worker and pipeline instance in
+        the process.  Without it, the index is rebuilt from raw SQL
+        (the original cold path).  Either way ``index_stats`` records
+        what happened so the evaluation harness can surface it.
+        """
+        cfg = self.config
+        started = time.perf_counter()
+        if cfg.store_path is not None:
+            from repro.store import shared_store
+
+            self.store = shared_store(
+                cfg.store_path, demo_sqls, offline=cfg.offline_index
+            )
+            self.automaton = self.store.index
+            source = "warm"
+        else:
+            with obs.span("index.build"):
+                self.automaton = AutomatonIndex.build(demo_sqls)
+            obs.count("index.builds")
+            obs.observe(
+                "index.build_ms", (time.perf_counter() - started) * 1000.0
+            )
+            source = "cold"
+        self.index_stats = {
+            "source": source,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "pool_size": len(demo_sqls),
+            "states": self.automaton.end_state_counts(),
+        }
 
     # -- inference ----------------------------------------------------------------
 
@@ -250,7 +290,10 @@ def _make_purple(*, llm=None, train=None, budget=None, consistency_n=None,
 
     Pass ``config=PurpleConfig(...)`` to take full control (the shared
     knobs must then be omitted), or pass any ``PurpleConfig`` field as a
-    keyword override.
+    keyword override — notably ``store_path=`` to warm-start the
+    demonstration index from a persistent store and
+    ``offline_index=True`` to forbid implicit rebuilds of a stale one
+    (see docs/demo-store.md).
     """
     if config is not None:
         if budget is not None or consistency_n is not None or seed is not None:

@@ -26,12 +26,26 @@ def select_demonstrations(
     rng: Optional[np.random.Generator] = None,
     max_demos: Optional[int] = None,
 ) -> list:
-    """Run Algorithm 1; returns demonstration indices in priority order.
+    """Run Algorithm 1 over the preferential matching matrix ``I``.
 
-    ``predicted_skeletons`` is a list of
-    :class:`~repro.core.skeleton_prediction.PredictedSkeleton`, best first.
-    Figure-12 noise knobs (``mask_levels``, ``drop_skeleton_prob``) apply
-    here.
+    :param index: the four-level
+        :class:`~repro.core.automaton.AutomatonIndex` over the
+        demonstration pool (cold-built via ``AutomatonIndex.build`` or
+        warm-loaded from a :class:`~repro.store.DemoStore`).
+    :param predicted_skeletons: list of
+        :class:`~repro.core.skeleton_prediction.PredictedSkeleton`,
+        best (highest-probability) first — the columns of ``I``.
+    :param config: supplies the round budget ``p0``, the
+        Increase-Generalization schedule, and the Figure-12 noise knobs
+        (``mask_levels`` hides the finest abstraction rows,
+        ``drop_skeleton_prob`` randomly discards one predicted skeleton).
+    :param rng: numpy ``Generator`` consumed only by the noise knobs;
+        may be ``None`` when both knobs are off.
+    :param max_demos: optional hard cap; selection stops as soon as this
+        many demonstrations are chosen.
+    :return: demonstration-pool indices in priority order (most relevant
+        first, no duplicates).  Indices refer to positions in the pool
+        the ``index`` was built from.
     """
     skeletons = list(predicted_skeletons)
     if config.drop_skeleton_prob > 0 and rng is not None and len(skeletons) > 1:

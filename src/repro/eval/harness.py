@@ -355,6 +355,8 @@ def evaluate_approach(
             eval_error=eval_error,
         )
 
+    if observer is not None:
+        _publish_index_stats(approach, observer)
     started = time.perf_counter()
     try:
         outcomes, task_timings = map_ordered(
@@ -377,6 +379,31 @@ def evaluate_approach(
     if observer is not None:
         report.telemetry = observer.telemetry()
     return report
+
+
+def _publish_index_stats(approach, observer) -> None:
+    """Surface the approach's demonstration-index provenance in the run.
+
+    ``fit`` usually runs before an observer exists, so its
+    ``index.build``/``index.load`` instrumentation lands nowhere.  Any
+    approach that records ``index_stats`` at fit time (PURPLE does —
+    source, elapsed ms, pool size, per-level state counts) gets them
+    re-emitted here as gauges plus one ``index.source`` event, so a
+    trace of the run still says whether the automaton was warm-started
+    from a store or rebuilt cold.
+    """
+    stats = getattr(approach, "index_stats", None)
+    if not stats:
+        return
+    with observer.activate():
+        obs.gauge("index.pool_size", stats.get("pool_size", 0))
+        for level, states in sorted(stats.get("states", {}).items()):
+            obs.gauge("index.states", states, level=str(level))
+        obs.event(
+            "index.source",
+            source=stats.get("source", "unknown"),
+            elapsed_ms=stats.get("elapsed_ms", 0.0),
+        )
 
 
 def build_suites_for_dataset(

@@ -37,6 +37,12 @@ class RunTelemetry:
     executor_timeouts: int = 0
     executor_cache_hits: int = 0
     executor_cache_misses: int = 0
+    #: Demonstration-index lifecycle (repro.store): cold builds, warm
+    #: loads, shared/cached reuses, and staleness-triggered rebuilds.
+    index_builds: int = 0
+    index_loads: int = 0
+    index_cache_hits: int = 0
+    index_rebuilds: int = 0
     #: Static pre-execution guard: predictions checked and skipped.
     guard_checked: int = 0
     guard_skipped: int = 0
@@ -80,6 +86,10 @@ class RunTelemetry:
             executor_timeouts=snapshot.counter("executor.timeouts"),
             executor_cache_hits=snapshot.counter("executor.cache_hits"),
             executor_cache_misses=snapshot.counter("executor.cache_misses"),
+            index_builds=snapshot.counter("index.builds"),
+            index_loads=snapshot.counter("index.loads"),
+            index_cache_hits=snapshot.counter("index.cache_hit"),
+            index_rebuilds=snapshot.counter("index.rebuilds"),
             guard_checked=snapshot.counter("guard.checked"),
             guard_skipped=snapshot.counter("guard.skipped"),
             diagnostics=dict(
@@ -108,6 +118,10 @@ class RunTelemetry:
             "executor_timeouts": self.executor_timeouts,
             "executor_cache_hits": self.executor_cache_hits,
             "executor_cache_misses": self.executor_cache_misses,
+            "index_builds": self.index_builds,
+            "index_loads": self.index_loads,
+            "index_cache_hits": self.index_cache_hits,
+            "index_rebuilds": self.index_rebuilds,
             "guard_checked": self.guard_checked,
             "guard_skipped": self.guard_skipped,
             "diagnostics": self.diagnostics,

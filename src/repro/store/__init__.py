@@ -1,0 +1,48 @@
+"""``repro.store`` — the persistent, versioned demonstration store.
+
+PURPLE's retrieval accuracy comes from the four-level skeleton automaton
+over the demonstration pool (§IV-C); this package makes that index a
+**precomputed asset** instead of a per-run computation.  An offline
+build (``repro index build``) parses every pool demonstration once and
+serializes the skeleton sequences plus hardness/token-cost metadata into
+a compact single-file container; the pipeline then warm-starts by
+loading it — no SQL parsing — and shares one read-only copy across all
+workers in the process.  Staleness is detected by content hash, and a
+strict offline mode turns "stale" into an error instead of a rebuild.
+
+See ``docs/demo-store.md`` for the file format, the hash scheme, and
+the CLI workflow.
+"""
+
+from repro.store.cache import clear_shared_stores, shared_store
+from repro.store.format import (
+    FORMAT_VERSION,
+    CorruptStoreError,
+    StaleStoreError,
+    StoreError,
+    StoreVersionError,
+    read_manifest,
+)
+from repro.store.hashing import pool_hash
+from repro.store.store import (
+    SKELETON_SCHEMA_VERSION,
+    DemoRecord,
+    DemoStore,
+    StoreManifest,
+)
+
+__all__ = [
+    "DemoStore",
+    "DemoRecord",
+    "StoreManifest",
+    "StoreError",
+    "CorruptStoreError",
+    "StaleStoreError",
+    "StoreVersionError",
+    "FORMAT_VERSION",
+    "SKELETON_SCHEMA_VERSION",
+    "pool_hash",
+    "read_manifest",
+    "shared_store",
+    "clear_shared_stores",
+]

@@ -1,0 +1,55 @@
+"""Content-hash scheme for demonstration pools.
+
+The pool hash is a *chained* digest: ``H_0`` is a fixed namespace seed
+and ``H_n = blake2b(H_{n-1} || blake2b(sql_n))``.  Chaining (rather than
+hashing the concatenated pool) makes the hash order-sensitive — demo
+*indices* are part of the store contract — and lets an incremental
+``add()`` extend the manifest hash in O(1) from the previous value
+without re-reading the whole pool.
+
+``config_digest`` canonicalizes a build-config dict (sorted-key JSON)
+so manifests built with different knobs never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+_DIGEST_SIZE = 16
+
+#: H_0 — the namespace seed every pool hash chain starts from.
+EMPTY_POOL_HASH = hashlib.blake2b(
+    b"purple-demo-pool-v1", digest_size=_DIGEST_SIZE
+).hexdigest()
+
+
+def sql_digest(sql: str) -> str:
+    """Content digest of one demonstration's SQL text."""
+    return hashlib.blake2b(
+        sql.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+def extend_pool_hash(previous_hex: str, sql: str) -> str:
+    """One chain step: fold the next demonstration into the pool hash."""
+    return hashlib.blake2b(
+        bytes.fromhex(previous_hex) + bytes.fromhex(sql_digest(sql)),
+        digest_size=_DIGEST_SIZE,
+    ).hexdigest()
+
+
+def pool_hash(demo_sqls) -> str:
+    """Chained content hash of an ordered demonstration pool."""
+    digest = EMPTY_POOL_HASH
+    for sql in demo_sqls:
+        digest = extend_pool_hash(digest, sql)
+    return digest
+
+
+def config_digest(build_config: dict) -> str:
+    """Canonical digest of the build configuration dict."""
+    canonical = json.dumps(build_config, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()

@@ -100,6 +100,49 @@ class TestDeterminismRules:
         assert findings[0].fix_hint["replace_with"]
 
 
+class TestMissingDocstringRule:
+    def run_scoped(self, tmp_path, source, subdir="repro/core"):
+        root = tmp_path / "repro"
+        target = tmp_path / subdir
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "mod.py").write_text(source)
+        engine = LintEngine(
+            root=root,
+            rules={"py.missing-docstring": REGISTRY["py.missing-docstring"]},
+        )
+        return engine.run()
+
+    def test_public_function_without_docstring_flagged(self, tmp_path):
+        source = (
+            "def documented():\n    \"\"\"Fine.\"\"\"\n"
+            "def bare():\n    return 1\n"
+            "def blank():\n    \"\"\"   \"\"\"\n"
+        )
+        findings = self.run_scoped(tmp_path, source)
+        assert [(d.span.line, d.rule) for d in findings] == [
+            (3, "py.missing-docstring"), (5, "py.missing-docstring"),
+        ]
+
+    def test_private_functions_exempt(self, tmp_path):
+        source = "def _helper():\n    return 1\n"
+        assert self.run_scoped(tmp_path, source) == []
+
+    def test_methods_checked_too(self, tmp_path):
+        source = (
+            "class Thing:\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    def api(self):\n        return 1\n"
+            "    def _impl(self):\n        return 2\n"
+        )
+        findings = self.run_scoped(tmp_path, source)
+        assert [d.span.line for d in findings] == [3]
+
+    def test_rule_scoped_to_core_and_store(self, tmp_path):
+        source = "def bare():\n    return 1\n"
+        assert self.run_scoped(tmp_path, source, subdir="repro/eval") == []
+        assert len(self.run_scoped(tmp_path, source, subdir="repro/store")) == 1
+
+
 class TestSelfClean:
     def test_package_tree_is_clean(self):
         findings = lint_tree()

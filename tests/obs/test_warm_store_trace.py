@@ -1,0 +1,113 @@
+"""Warm-start equivalence: a 4-worker run fed by the persistent
+demonstration store must be indistinguishable — outcomes, scores, and
+selection/span traces — from a serial run that cold-builds the index."""
+
+import pytest
+
+from repro import api
+from repro.llm import CHATGPT, MockLLM
+from repro.obs import Observer
+from repro.eval import evaluate_approach
+from repro.store import DemoStore, clear_shared_stores
+
+LIMIT = 12
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def store_path(request, tmp_path_factory):
+    train = request.getfixturevalue("train_set")
+    path = tmp_path_factory.mktemp("store") / "train.demostore"
+    DemoStore.build([ex.sql for ex in train]).save(path)
+    return path
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_shared_stores()
+    yield
+    clear_shared_stores()
+
+
+def run(train_set, dev_set, workers, observer, **purple_kwargs):
+    approach = api.create(
+        "purple",
+        llm=MockLLM(CHATGPT, seed=2),
+        train=train_set,
+        consistency_n=5,
+        **purple_kwargs,
+    )
+    report = evaluate_approach(
+        approach, dev_set, limit=LIMIT, workers=workers, observer=observer
+    )
+    return approach, report
+
+
+def trace_shape(observer):
+    return [
+        (s.span_id, s.parent_id, s.name, s.lane, s.seq)
+        for s in observer.tracer.spans()
+    ]
+
+
+class TestWarmStoreEquivalence:
+    def test_warm_parallel_equals_cold_serial(
+        self, train_set, dev_set, store_path
+    ):
+        cold_obs = Observer(seed=5)
+        cold_approach, cold = run(train_set, dev_set, 1, cold_obs)
+        warm_obs = Observer(seed=5)
+        warm_approach, warm = run(
+            train_set, dev_set, WORKERS, warm_obs,
+            store_path=str(store_path), offline_index=True,
+        )
+
+        assert cold_approach.index_stats["source"] == "cold"
+        assert warm_approach.index_stats["source"] == "warm"
+        assert warm_approach.store is not None
+
+        # Outcomes (per-task SQL, EM/EX/TS, hardness) are byte-identical.
+        assert warm.outcomes == cold.outcomes
+        assert (warm.em, warm.ex, warm.ts) == (cold.em, cold.ex, cold.ts)
+
+        # So are the evaluation traces: same span ids, nesting, lanes and
+        # per-lane ordering — including every stage:select subtree.
+        assert trace_shape(warm_obs) == trace_shape(cold_obs)
+        select_spans = [
+            s for s in warm_obs.tracer.spans() if s.name == "stage:select"
+        ]
+        assert len(select_spans) == LIMIT
+
+    def test_warm_workers_share_one_store(
+        self, train_set, dev_set, store_path
+    ):
+        observer = Observer()
+        with observer.activate():
+            approach, report = run(
+                train_set, dev_set, WORKERS, observer,
+                store_path=str(store_path), offline_index=True,
+            )
+        assert len(report.outcomes) == LIMIT
+        snapshot = observer.metrics.snapshot()
+        # One warm load for the whole process, zero builds/rebuilds.
+        assert snapshot.counter("index.loads") == 1
+        assert snapshot.counter("index.builds") == 0
+        assert snapshot.counter("index.rebuilds") == 0
+        assert report.telemetry.index_loads == 1
+        assert report.telemetry.index_builds == 0
+
+    def test_harness_republishes_index_provenance(
+        self, train_set, dev_set, store_path
+    ):
+        # fit() happens before evaluate_approach here, outside the
+        # observer; the harness must still surface index provenance.
+        observer = Observer()
+        approach, report = run(
+            train_set, dev_set, WORKERS, observer,
+            store_path=str(store_path), offline_index=True,
+        )
+        events = [
+            e for e in observer.logger.events() if e.name == "index.source"
+        ]
+        assert len(events) == 1
+        assert events[0].fields["source"] == "warm"

@@ -1,0 +1,119 @@
+"""Unit tests for the on-disk store container format."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    CorruptStoreError,
+    StoreVersionError,
+    read_manifest,
+    read_store,
+    write_store,
+)
+
+MANIFEST = {"format_version": FORMAT_VERSION, "pool_hash": "abc", "pool_size": 2}
+PAYLOAD = {"demos": [["SELECT 1", ["select", "_num_"], "easy", 3]]}
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        size = write_store(path, MANIFEST, PAYLOAD)
+        assert size == path.stat().st_size
+        manifest, payload = read_store(path)
+        assert manifest == MANIFEST
+        assert payload == PAYLOAD
+
+    def test_read_manifest_is_header_only(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        write_store(path, MANIFEST, PAYLOAD)
+        assert read_manifest(path) == MANIFEST
+        # Garble the payload region: the manifest probe must not care.
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert read_manifest(path) == MANIFEST
+        with pytest.raises(CorruptStoreError):
+            read_store(path)
+
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        write_store(path, MANIFEST, PAYLOAD)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != path.name]
+        assert leftovers == []
+
+    def test_overwrite_replaces_previous_store(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        write_store(path, MANIFEST, PAYLOAD)
+        other = dict(MANIFEST, pool_hash="def")
+        write_store(path, other, {"demos": []})
+        manifest, payload = read_store(path)
+        assert manifest["pool_hash"] == "def"
+        assert payload == {"demos": []}
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_bytes(b"NOTASTORE" + b"\x00" * 32)
+        with pytest.raises(CorruptStoreError, match="magic"):
+            read_manifest(path)
+        with pytest.raises(CorruptStoreError, match="magic"):
+            read_store(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptStoreError):
+            read_store(path)
+
+    def test_truncated_everywhere(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        write_store(path, MANIFEST, PAYLOAD)
+        blob = path.read_bytes()
+        for cut in (4, len(MAGIC) + 2, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            with pytest.raises((CorruptStoreError, StoreVersionError)):
+                read_store(path)
+
+    def test_payload_checksum_mismatch(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        write_store(path, MANIFEST, PAYLOAD)
+        blob = bytearray(path.read_bytes())
+        # Flip a bit inside the compressed payload (before the CRC).
+        blob[-6] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptStoreError):
+            read_store(path)
+
+    def test_manifest_not_json(self, tmp_path):
+        path = tmp_path / "x"
+        garbage = b"{nope"
+        path.write_bytes(
+            MAGIC + struct.pack(">I", len(garbage)) + garbage
+            + struct.pack(">I", 0) + struct.pack(">I", zlib.crc32(b""))
+        )
+        with pytest.raises(CorruptStoreError, match="JSON"):
+            read_manifest(path)
+
+
+class TestVersioning:
+    def test_future_format_version_rejected(self, tmp_path):
+        path = tmp_path / "pool.demostore"
+        future = dict(MANIFEST, format_version=FORMAT_VERSION + 1)
+        manifest_bytes = json.dumps(future).encode()
+        payload_bytes = zlib.compress(b"{}")
+        path.write_bytes(
+            MAGIC + struct.pack(">I", len(manifest_bytes)) + manifest_bytes
+            + struct.pack(">I", len(payload_bytes)) + payload_bytes
+            + struct.pack(">I", zlib.crc32(payload_bytes))
+        )
+        with pytest.raises(StoreVersionError):
+            read_manifest(path)
+        with pytest.raises(StoreVersionError):
+            read_store(path)

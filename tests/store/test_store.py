@@ -1,0 +1,231 @@
+"""Unit tests for DemoStore: build/save/load, staleness, verification,
+incremental add, and the process-wide shared cache."""
+
+import pytest
+
+from repro.core.automaton import AutomatonIndex
+from repro.obs import Observer
+from repro.sqlkit.skeleton import skeleton_tokens
+from repro.store import (
+    DemoStore,
+    StaleStoreError,
+    clear_shared_stores,
+    pool_hash,
+    read_manifest,
+    shared_store,
+)
+from repro.store.hashing import EMPTY_POOL_HASH, extend_pool_hash
+
+
+@pytest.fixture(scope="module")
+def pool(request):
+    train = request.getfixturevalue("train_set")
+    return [ex.sql for ex in train]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_shared_stores()
+    yield
+    clear_shared_stores()
+
+
+class TestBuildSaveLoad:
+    def test_round_trip_preserves_everything(self, tmp_path, pool):
+        built = DemoStore.build(pool)
+        path = built.save(tmp_path / "pool.demostore")
+        loaded = DemoStore.load(path)
+        assert loaded.manifest.as_dict() == built.manifest.as_dict()
+        assert loaded.demos == built.demos
+        assert (
+            loaded.index.end_state_counts() == built.index.end_state_counts()
+        )
+
+    def test_loaded_index_matches_cold_build(self, tmp_path, pool):
+        cold = AutomatonIndex.build(pool)
+        built = DemoStore.build(pool)
+        loaded = DemoStore.load(built.save(tmp_path / "pool.demostore"))
+        for sql in pool[:25]:
+            tokens = skeleton_tokens(sql)
+            for level in (1, 2, 3, 4):
+                assert loaded.index.match(level, tokens) == cold.match(
+                    level, tokens
+                ), (sql, level)
+
+    def test_manifest_identity(self, tmp_path, pool):
+        built = DemoStore.build(pool, build_config={"note": "tier1"})
+        path = built.save(tmp_path / "pool.demostore")
+        manifest = read_manifest(path)
+        assert manifest["pool_hash"] == pool_hash(pool)
+        assert manifest["pool_size"] == len(pool)
+        assert manifest["build_config"] == {"note": "tier1"}
+
+    def test_hardness_and_token_cost_precomputed(self, pool):
+        built = DemoStore.build(pool[:10])
+        for record in built.demos:
+            assert record.hardness in ("easy", "medium", "hard", "extra")
+            assert record.token_cost > 0
+            assert record.skeleton == tuple(skeleton_tokens(record.sql))
+
+
+class TestOpenStaleness:
+    def test_missing_file_builds_and_saves(self, tmp_path, pool):
+        path = tmp_path / "new.demostore"
+        store = DemoStore.open(path, pool)
+        assert path.exists()
+        assert store.manifest.pool_hash == pool_hash(pool)
+
+    def test_fresh_store_is_loaded_not_rebuilt(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool).save(path)
+        before = path.read_bytes()
+        store = DemoStore.open(path, pool)
+        assert store.path == path
+        assert path.read_bytes() == before
+
+    def test_changed_pool_triggers_rebuild(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool[:-1]).save(path)
+        store = DemoStore.open(path, pool)
+        assert store.manifest.pool_size == len(pool)
+        assert read_manifest(path)["pool_hash"] == pool_hash(pool)
+
+    def test_reordered_pool_is_stale(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool).save(path)
+        reordered = list(reversed(pool))
+        with pytest.raises(StaleStoreError):
+            DemoStore.open(path, reordered, offline=True)
+
+    def test_changed_build_config_triggers_rebuild(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool, build_config={"a": 1}).save(path)
+        with pytest.raises(StaleStoreError):
+            DemoStore.open(path, pool, build_config={"a": 2}, offline=True)
+        store = DemoStore.open(path, pool, build_config={"a": 2})
+        assert store.manifest.build_config == {"a": 2}
+
+    def test_corrupt_file_triggers_rebuild(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool).save(path)
+        path.write_bytes(b"garbage")
+        store = DemoStore.open(path, pool)
+        assert store.manifest.pool_hash == pool_hash(pool)
+        assert DemoStore.load(path).manifest.pool_size == len(pool)
+
+    def test_offline_mode_never_touches_disk(self, tmp_path, pool):
+        path = tmp_path / "missing.demostore"
+        with pytest.raises(StaleStoreError, match="offline"):
+            DemoStore.open(path, pool, offline=True)
+        assert not path.exists()
+
+    def test_offline_mode_loads_fresh_store(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(pool).save(path)
+        store = DemoStore.open(path, pool, offline=True)
+        assert store.manifest.pool_hash == pool_hash(pool)
+
+
+class TestVerification:
+    def test_verify_against_clean(self, pool):
+        store = DemoStore.build(pool)
+        assert store.verify_against(pool) == []
+
+    def test_verify_against_detects_drift(self, pool):
+        store = DemoStore.build(pool)
+        problems = store.verify_against(pool[:-2])
+        assert any("hash" in p for p in problems)
+        assert any("size" in p for p in problems)
+
+    def test_self_check_clean_even_deep(self, tmp_path, pool):
+        store = DemoStore.load(
+            DemoStore.build(pool).save(tmp_path / "p.demostore")
+        )
+        assert store.self_check(deep=True) == []
+
+    def test_self_check_detects_tampered_sql(self, pool):
+        store = DemoStore.build(pool)
+        tampered = store.demos[0].__class__(
+            sql="SELECT 42",
+            skeleton=store.demos[0].skeleton,
+            hardness=store.demos[0].hardness,
+            token_cost=store.demos[0].token_cost,
+        )
+        store.demos[0] = tampered
+        problems = store.self_check(deep=True)
+        assert any("pool hash" in p for p in problems)
+        assert any("demo 0" in p for p in problems)
+
+
+class TestIncrementalAdd:
+    def test_add_equals_full_rebuild(self, pool):
+        base, extra = pool[:-5], pool[-5:]
+        incremental = DemoStore.build(base)
+        for sql in extra:
+            incremental.add(sql)
+        full = DemoStore.build(pool)
+        assert incremental.manifest.pool_hash == full.manifest.pool_hash
+        assert incremental.manifest.state_counts == full.manifest.state_counts
+        assert incremental.demos == full.demos
+        for sql in pool:
+            tokens = skeleton_tokens(sql)
+            for level in (1, 2, 3, 4):
+                assert incremental.index.match(level, tokens) == (
+                    full.index.match(level, tokens)
+                )
+
+    def test_add_from_empty(self, pool):
+        store = DemoStore.build([])
+        assert store.manifest.pool_hash == EMPTY_POOL_HASH
+        for i, sql in enumerate(pool[:4]):
+            assert store.add(sql) == i
+        assert store.manifest.pool_hash == pool_hash(pool[:4])
+
+    def test_chained_hash_is_order_sensitive(self):
+        a = extend_pool_hash(extend_pool_hash(EMPTY_POOL_HASH, "x"), "y")
+        b = extend_pool_hash(extend_pool_hash(EMPTY_POOL_HASH, "y"), "x")
+        assert a != b
+
+
+class TestSharedCache:
+    def test_same_pool_same_object(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        first = shared_store(path, pool)
+        second = shared_store(path, pool)
+        assert first is second
+
+    def test_changed_pool_new_entry(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        first = shared_store(path, pool)
+        second = shared_store(path, pool[:-1])
+        assert first is not second
+        assert second.manifest.pool_size == len(pool) - 1
+
+    def test_clear_resets(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        first = shared_store(path, pool)
+        clear_shared_stores()
+        assert shared_store(path, pool) is not first
+
+
+class TestObservability:
+    def test_lifecycle_counters(self, tmp_path, pool):
+        path = tmp_path / "pool.demostore"
+        observer = Observer()
+        with observer.activate():
+            DemoStore.open(path, pool)          # miss -> build + save
+            DemoStore.open(path, pool)          # fresh -> load
+            shared_store(path, pool)            # load (first cache fill)
+            shared_store(path, pool)            # in-memory hit
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.counter("index.builds") == 1
+        assert snapshot.counter("index.rebuilds") == 1
+        assert snapshot.counter("index.loads") == 2
+        assert snapshot.counter("index.cache_hit") >= 2
+        telemetry = observer.telemetry()
+        assert telemetry.index_builds == 1
+        assert telemetry.index_loads == 2
+        assert telemetry.index_cache_hits >= 2
+        spans = [s.name for s in observer.tracer.spans()]
+        assert "index.build" in spans
+        assert "index.load" in spans

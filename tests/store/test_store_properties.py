@@ -1,0 +1,102 @@
+"""Property-based tests: the persisted store is indistinguishable from a
+cold-built index, for any sub-pool of the real corpus fixture."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import AutomatonIndex
+from repro.sqlkit.skeleton import skeleton_tokens
+from repro.store import DemoStore
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_sqls(request):
+    train = request.getfixturevalue("train_set")
+    return [ex.sql for ex in train]
+
+
+def sub_pool(data, sqls, min_size=1):
+    indices = data.draw(
+        st.lists(
+            st.integers(0, len(sqls) - 1),
+            min_size=min_size,
+            max_size=24,
+        )
+    )
+    return [sqls[i] for i in indices]
+
+
+def assert_match_parity(index_a, index_b, pool):
+    for sql in pool:
+        tokens = skeleton_tokens(sql)
+        for level in (1, 2, 3, 4):
+            assert index_a.match(level, tokens) == index_b.match(
+                level, tokens
+            ), (sql, level)
+
+
+class TestRoundTripParity:
+    @given(st.data())
+    @SETTINGS
+    def test_saved_store_matches_cold_index(
+        self, corpus_sqls, tmp_path_factory, data
+    ):
+        pool = sub_pool(data, corpus_sqls)
+        path = tmp_path_factory.mktemp("store") / "pool.demostore"
+        loaded = DemoStore.load(DemoStore.build(pool).save(path))
+        cold = AutomatonIndex.build(pool)
+        assert loaded.index.end_state_counts() == cold.end_state_counts()
+        assert_match_parity(loaded.index, cold, pool)
+
+    @given(st.data())
+    @SETTINGS
+    def test_save_is_deterministic(
+        self, corpus_sqls, tmp_path_factory, data
+    ):
+        pool = sub_pool(data, corpus_sqls)
+        root = tmp_path_factory.mktemp("store")
+        a, b = root / "a.demostore", root / "b.demostore"
+        DemoStore.build(pool).save(a)
+        DemoStore.build(pool).save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestIncrementalParity:
+    @given(st.data())
+    @SETTINGS
+    def test_add_equals_rebuild_at_every_split(self, corpus_sqls, data):
+        pool = sub_pool(data, corpus_sqls, min_size=2)
+        split = data.draw(st.integers(0, len(pool) - 1))
+        incremental = DemoStore.build(pool[:split])
+        for sql in pool[split:]:
+            incremental.add(sql)
+        full = DemoStore.build(pool)
+        assert incremental.manifest.pool_hash == full.manifest.pool_hash
+        assert incremental.manifest.pool_size == full.manifest.pool_size
+        assert (
+            incremental.manifest.state_counts == full.manifest.state_counts
+        )
+        assert incremental.demos == full.demos
+        assert_match_parity(incremental.index, full.index, pool)
+
+    @given(st.data())
+    @SETTINGS
+    def test_added_store_round_trips(
+        self, corpus_sqls, tmp_path_factory, data
+    ):
+        pool = sub_pool(data, corpus_sqls, min_size=2)
+        store = DemoStore.build(pool[:1])
+        for sql in pool[1:]:
+            store.add(sql)
+        path = tmp_path_factory.mktemp("store") / "pool.demostore"
+        loaded = DemoStore.load(store.save(path))
+        assert loaded.manifest.as_dict() == store.manifest.as_dict()
+        assert loaded.self_check(deep=True) == []
+        assert_match_parity(loaded.index, AutomatonIndex.build(pool), pool)

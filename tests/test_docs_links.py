@@ -1,0 +1,95 @@
+"""Documentation integrity: every relative link in README.md and docs/
+resolves, and every docs/ page is reachable from the README.
+
+Markdown rots silently — files get renamed, anchors get reworded — so
+the link graph is a tier-1 contract, exactly like the lint rules.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+#: ``[text](target)`` links, ignoring images; target stops at the first
+#: closing paren (no nested parens in this repo's docs).
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def links_of(path: Path) -> list:
+    text = _CODE_FENCE.sub("", path.read_text())
+    return _LINK.findall(text)
+
+
+def anchors_of(path: Path) -> set:
+    text = _CODE_FENCE.sub("", path.read_text())
+    return {github_anchor(h) for h in _HEADING.findall(text)}
+
+
+def resolve(source: Path, target: str):
+    """Return (file, anchor) for a relative link, or None for external."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None
+    if target.startswith("#"):
+        return source, target[1:]
+    file_part, _, anchor = target.partition("#")
+    return (source.parent / file_part).resolve(), anchor
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO)) for p in DOC_FILES]
+)
+def test_every_relative_link_resolves(doc):
+    problems = []
+    for target in links_of(doc):
+        resolved = resolve(doc, target)
+        if resolved is None:
+            continue
+        file, anchor = resolved
+        if not file.exists():
+            problems.append(f"{target}: file does not exist")
+            continue
+        if anchor and file.suffix == ".md":
+            if anchor not in anchors_of(file):
+                problems.append(f"{target}: no heading for #{anchor}")
+    assert problems == [], "\n".join(f"{doc.name}: {p}" for p in problems)
+
+
+def test_every_doc_reachable_from_readme():
+    """BFS over relative markdown links, rooted at README.md."""
+    seen = set()
+    frontier = [REPO / "README.md"]
+    while frontier:
+        doc = frontier.pop()
+        if doc in seen or not doc.exists():
+            continue
+        seen.add(doc)
+        for target in links_of(doc):
+            resolved = resolve(doc, target)
+            if resolved is None:
+                continue
+            file, _ = resolved
+            if file.suffix == ".md" and file not in seen:
+                frontier.append(file)
+    missing = [
+        str(p.relative_to(REPO))
+        for p in sorted((REPO / "docs").glob("*.md"))
+        if p.resolve() not in seen
+    ]
+    assert missing == [], f"docs unreachable from README.md: {missing}"
+
+
+def test_docs_have_at_least_one_heading():
+    for doc in DOC_FILES:
+        assert anchors_of(doc), f"{doc.name} has no headings"
