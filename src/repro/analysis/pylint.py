@@ -120,7 +120,9 @@ class LintEngine:
         except SyntaxError as exc:
             return [Diagnostic(
                 rule="py.syntax-error",
-                message=str(exc),
+                # The raw text *is* the diagnostic here: a SyntaxError
+                # renders its own position context.
+                message=str(exc),  # noqa: no-raw-exc-str
                 file=str(relative),
                 span=Span(line=exc.lineno or 1, col=exc.offset or 0),
             )]
@@ -288,6 +290,34 @@ def _missing_docstring(ctx: FileContext):
                 "replace_with": "a one-line summary of behaviour and "
                                 "parameters",
             }
+
+
+@rule(
+    "py.no-raw-exc-str",
+    "str(exc) scatters ad-hoc failure-text parsing; normalize caught "
+    "exceptions through repro.schema.errorinfo (exception_text / "
+    "normalize_sqlite_error) so errors render identically everywhere",
+    allowed=("repro/schema/errorinfo.py",),
+)
+def _no_raw_exc_str(ctx: FileContext):
+    for handler in ast.walk(ctx.tree):
+        if not isinstance(handler, ast.ExceptHandler) or handler.name is None:
+            continue
+        for node in ast.walk(handler):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "str"
+                and len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == handler.name
+            ):
+                yield node, (
+                    f"str({handler.name}) on a caught exception"
+                ), {
+                    "replace_with": "repro.schema.errorinfo.exception_text",
+                }
 
 
 @rule(

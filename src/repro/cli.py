@@ -75,8 +75,10 @@ def _make_llm(llm_name: str, cache_dir=None):
 
 
 def _build_approach(name: str, llm, train: Dataset, budget: int,
-                    consistency: int, store=None, offline_index=False):
+                    consistency: int, store=None, offline_index=False,
+                    repair_rounds=0, repair_token_budget=None):
     from repro import api
+    from repro.schema import exception_text
 
     extra = {}
     if store is not None or offline_index:
@@ -85,6 +87,15 @@ def _build_approach(name: str, llm, train: Dataset, budget: int,
                 "--store/--offline-index apply to the purple approach only"
             )
         extra = {"store_path": store, "offline_index": offline_index}
+    if repair_rounds or repair_token_budget is not None:
+        if name != "purple":
+            raise SystemExit(
+                "--repair-rounds/--repair-token-budget apply to the "
+                "purple approach only"
+            )
+        extra["repair_rounds"] = repair_rounds
+        if repair_token_budget is not None:
+            extra["repair_token_budget"] = repair_token_budget
     from repro.store import StoreError
 
     try:
@@ -93,7 +104,7 @@ def _build_approach(name: str, llm, train: Dataset, budget: int,
             consistency_n=consistency, **extra,
         )
     except api.UnknownApproachError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(exception_text(exc))
     except StoreError as exc:
         # Strict offline mode refused a missing/stale store.
         raise SystemExit(f"demonstration store: {exc}")
@@ -136,6 +147,8 @@ def _cmd_evaluate(args) -> int:
         approach = _build_approach(
             args.approach, llm, train, args.budget, args.consistency,
             store=args.store, offline_index=args.offline_index,
+            repair_rounds=args.repair_rounds,
+            repair_token_budget=args.repair_token_budget,
         )
     report = evaluate_approach(
         approach, dev, limit=args.limit, workers=args.workers,
@@ -166,6 +179,13 @@ def _cmd_evaluate(args) -> int:
             f"retries {t.llm_retries}  breaker opens {t.breaker_opens}  "
             f"degraded {t.degraded}  events {t.events}"
         )
+        if t.repair_triggered:
+            render.out(
+                f"  repair: {t.repair_recovered} of {t.repair_triggered} "
+                f"failing answers recovered in {t.repair_rounds} rounds"
+                + (f"  abandoned {t.repair_abandoned}"
+                   if t.repair_abandoned else "")
+            )
         diags = diagnostics_summary(report)
         if diags:
             render.out(
@@ -206,7 +226,9 @@ def _cmd_translate(args) -> int:
     approach = _build_approach("purple", _make_llm(args.llm), train,
                                args.budget, args.consistency,
                                store=args.store,
-                               offline_index=args.offline_index)
+                               offline_index=args.offline_index,
+                               repair_rounds=args.repair_rounds,
+                               repair_token_budget=args.repair_token_budget)
     result = approach.translate(
         TranslationTask(question=args.question, database=dev.database(args.db_id))
     )
@@ -406,6 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict mode: error out instead of rebuilding when --store "
              "is missing or stale",
     )
+    e.add_argument(
+        "--repair-rounds", type=int, default=0,
+        help="per-task cap on execution-feedback repair rounds for "
+             "failing answers (purple only; 0 disables the loop and is "
+             "byte-identical to a loop-free build)",
+    )
+    e.add_argument(
+        "--repair-token-budget", type=int, default=None,
+        help="run-wide cap on extra tokens the repair loop may spend "
+             "(default: unlimited)",
+    )
     e.add_argument("--by-hardness", action="store_true")
     e.add_argument(
         "--static-guard", action="store_true",
@@ -429,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument(
         "--offline-index", action="store_true",
         help="strict mode: error out instead of rebuilding a stale store",
+    )
+    t.add_argument(
+        "--repair-rounds", type=int, default=0,
+        help="per-task cap on execution-feedback repair rounds",
+    )
+    t.add_argument(
+        "--repair-token-budget", type=int, default=None,
+        help="run-wide cap on extra tokens the repair loop may spend",
     )
     t.set_defaults(func=_cmd_translate)
 

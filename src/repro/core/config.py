@@ -52,6 +52,13 @@ class PurpleConfig:
     map_functions: bool = False       # dialect function mapping repair
     use_synthesis: bool = False       # generation-based prompting fallback
 
+    # Execution-feedback repair (docs/repair.md), off by default: with
+    # repair_rounds = 0 the pipeline is byte-identical to a loop-free
+    # build.  repair_token_budget caps extra repair tokens run-wide
+    # (None = unlimited; see RepairBudget for the determinism contract).
+    repair_rounds: int = 0
+    repair_token_budget: Optional[int] = None
+
     # Misc
     seed: int = 0
     classifier_epochs: int = 300

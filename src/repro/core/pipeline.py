@@ -3,7 +3,8 @@
 ``Purple.fit`` trains the two PLM substrates on the demonstration corpus
 and builds the four-level automaton; ``Purple.translate`` runs the full
 loop for one task: prune → predict skeletons → select demonstrations →
-pack prompt → call the LLM (n samples) → adapt → vote.
+pack prompt → call the LLM (n samples) → adapt → vote → repair (when
+``repair_rounds`` > 0; docs/repair.md).
 
 Every module can be switched off for the Table-6 ablations via
 :class:`~repro.core.config.PurpleConfig`.
@@ -34,6 +35,7 @@ from repro.llm.interface import LLM, LLMRequest
 from repro.llm.promptfmt import build_prompt, render_schema
 from repro.obs import runtime as obs
 from repro.plm.classifier import train_schema_classifier
+from repro.repair import RepairBudget, RepairLoop
 from repro.plm.skeleton_model import train_skeleton_predictor
 from repro.schema import SQLiteExecutor
 from repro.spider.dataset import Dataset
@@ -55,6 +57,18 @@ class Purple:
             max_attempts=self.config.max_repair_attempts,
             map_functions=self.config.map_functions,
         )
+        # The repair budget is run-wide: one ledger shared by every
+        # worker translating through this instance (docs/repair.md).
+        self.repair_budget = RepairBudget(self.config.repair_token_budget)
+        self.repair: Optional[RepairLoop] = None
+        if self.config.repair_rounds > 0:
+            self.repair = RepairLoop(
+                llm=llm,
+                executor=self.executor,
+                adapter=self.adapter,
+                max_rounds=self.config.repair_rounds,
+                budget=self.repair_budget,
+            )
         self.classifier = None
         self.pruner: Optional[SchemaPruner] = None
         self.skeleton_module: Optional[SkeletonPredictionModule] = None
@@ -255,12 +269,42 @@ class Purple:
             output_tokens=response.output_tokens,
             calls=1,
         )
+
+        # Step 6 — execution-feedback repair (docs/repair.md).  Only when
+        # configured on: the vote can still elect a failing query when
+        # every candidate shares a systematic hallucination.  Placed
+        # after the ladder's best-effort early return above, so repair
+        # never runs once the ladder is exhausted.  With repair_rounds=0
+        # this block is skipped entirely — no extra executor, LLM, or
+        # observability calls — keeping outcomes and traces byte-identical
+        # to a loop-free build.
+        repair_rounds_used = 0
+        repaired = False
+        if self.repair is not None:
+            with stage("repair"):
+                compact_schema_text = render_schema(
+                    task.database, schema, values_per_column=0
+                )
+                report = self.repair.run(
+                    final,
+                    task.database,
+                    schema_text=schema_text,
+                    compact_schema_text=compact_schema_text,
+                    question=task.question,
+                )
+            final = report.sql
+            usage.add(report.usage)
+            repair_rounds_used = report.rounds
+            repaired = report.repaired
+
         return TranslationResult(
             sql=final,
             usage=usage,
             degradation_level=outcome.level,
             retries=retries,
             events=outcome.events,
+            repair_rounds=repair_rounds_used,
+            repaired=repaired,
         )
 
     def _predict_skeletons(self, task: TranslationTask, schema) -> list:

@@ -21,7 +21,13 @@ class GoldExecutionError(ValueError):
 
     The harness records such tasks as evaluation-error outcomes and keeps
     going; a ValueError subclass so pre-existing callers still catch it.
+    ``info`` carries the executor's normalized
+    :class:`~repro.schema.errorinfo.ErrorInfo` when available.
     """
+
+    def __init__(self, message: str, *, info=None):
+        super().__init__(message)
+        self.info = info
 
 
 def gold_executes(
@@ -36,7 +42,8 @@ def gold_executes(
     gold_result = executor.execute(db_key, gold_sql)
     if not gold_result.ok:
         raise GoldExecutionError(
-            f"gold SQL failed to execute: {gold_result.error}"
+            f"gold SQL failed to execute: {gold_result.error}",
+            info=gold_result.info,
         )
 
 
@@ -50,7 +57,8 @@ def execution_match(
     gold_result = executor.execute(db_key, gold_sql)
     if not gold_result.ok:
         raise GoldExecutionError(
-            f"gold SQL failed to execute: {gold_result.error}"
+            f"gold SQL failed to execute: {gold_result.error}",
+            info=gold_result.info,
         )
     pred_result = executor.execute(db_key, predicted_sql)
     if not pred_result.ok:
@@ -83,6 +91,44 @@ def _normalize_row(row: tuple) -> tuple:
 
 def _key(row: tuple):
     return tuple((v is None, type(v).__name__, str(v)) for v in row)
+
+
+def shape_implies_rows(sql: str):
+    """The single FROM table of a query whose shape guarantees rows, or None.
+
+    The execution-feedback repair loop treats an empty result as *suspect*
+    only when the query cannot legitimately be empty: a plain projection
+    over exactly one table with no WHERE/HAVING/GROUP BY, no joins, no
+    LIMIT, and no compound — such a query returns one row per table row,
+    so an empty result on a non-empty table means the model selected from
+    the wrong place.  Returns the table name to let the caller check the
+    table actually has rows; any richer shape returns None (never
+    suspect), which keeps the trigger free of false positives.
+    """
+    try:
+        query = parse_sql(sql)
+    except SQLError:
+        return None
+    if query.compounds:
+        return None
+    core = query.core
+    if (
+        core.where is not None
+        or core.having is not None
+        or core.group_by
+        or core.limit is not None
+        or core.from_clause is None
+        or core.from_clause.joins
+    ):
+        return None
+    from repro.sqlkit.ast_nodes import Subquery, TableRef, walk
+
+    if any(isinstance(node, Subquery) for node in walk(query)):
+        return None
+    source = core.from_clause.first
+    if not isinstance(source, TableRef):
+        return None
+    return source.name
 
 
 def _gold_is_ordered(gold_sql: str) -> bool:

@@ -24,10 +24,10 @@ from repro.eval.execution import (
 )
 from repro.eval.test_suite import TestSuite, build_test_suite
 from repro.eval.timing import RunTiming, stage
-from repro.llm.errors import LLMError
+from repro.llm.errors import LLMError, failure_fields
 from repro.obs import runtime as obs
 from repro.obs.telemetry import RunTelemetry
-from repro.schema import Database, SQLiteExecutor
+from repro.schema import Database, SQLiteExecutor, exception_text
 from repro.spider.dataset import Dataset
 
 HARDNESS_ORDER = ("easy", "medium", "hard", "extra")
@@ -57,6 +57,9 @@ class TranslationResult:
     retries) so approaches without a fault-handling layer are unchanged.
     ``best_effort`` marks answers produced by the last-resort fallback
     after every prompt rung failed — executable but not LLM-derived.
+    ``repair_rounds`` counts execution-feedback repair rounds spent on
+    this answer and ``repaired`` whether one of them recovered it (both
+    zero-valued on approaches without the repair loop).
     """
 
     sql: str
@@ -65,6 +68,8 @@ class TranslationResult:
     retries: int = 0
     best_effort: bool = False
     events: tuple = ()
+    repair_rounds: int = 0
+    repaired: bool = False
 
 
 class NL2SQLApproach(Protocol):
@@ -98,6 +103,8 @@ class ExampleOutcome:
     degradation_level: int = 0
     retries: int = 0
     eval_error: Optional[str] = None
+    repair_rounds: int = 0
+    repaired: bool = False
 
 
 @dataclass
@@ -159,6 +166,16 @@ class EvaluationReport:
     def total_retries(self) -> int:
         """Provider retries summed over all tasks."""
         return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_repair_rounds(self) -> int:
+        """Execution-feedback repair rounds summed over all tasks."""
+        return sum(o.repair_rounds for o in self.outcomes)
+
+    @property
+    def repaired_count(self) -> int:
+        """Tasks whose answer was recovered by the repair loop."""
+        return sum(1 for o in self.outcomes if o.repaired)
 
     def retries_per_query(self) -> float:
         """Average provider retries per evaluated query."""
@@ -274,8 +291,8 @@ def evaluate_approach(
             obs.event(
                 "task.unanswered",
                 level="error",
-                error=type(exc).__name__,
                 ex_id=example.ex_id,
+                **failure_fields(exc),
             )
             return ExampleOutcome(
                 ex_id=example.ex_id,
@@ -309,13 +326,16 @@ def evaluate_approach(
                     )
             except GoldExecutionError as exc:
                 ex = False
-                eval_error = str(exc)
+                eval_error = exception_text(exc)
+                fields = {"error": eval_error}
+                if exc.info is not None:
+                    fields["error_code"] = exc.info.code
                 obs.count("tasks.eval_errors")
                 obs.event(
                     "task.eval_error",
                     level="warning",
                     ex_id=example.ex_id,
-                    error=str(exc),
+                    **fields,
                 )
         with stage("score"):
             em = exact_set_match(example.sql, result.sql)
@@ -353,6 +373,8 @@ def evaluate_approach(
             degradation_level=result.degradation_level,
             retries=result.retries,
             eval_error=eval_error,
+            repair_rounds=result.repair_rounds,
+            repaired=result.repaired,
         )
 
     if observer is not None:

@@ -29,7 +29,9 @@ from repro.obs.runtime import end_span as _obs_end_span
 from repro.obs.runtime import start_span as _obs_start_span
 
 #: Canonical stage names in pipeline order (others are allowed).
-STAGE_ORDER = ("prune", "skeleton", "select", "llm", "adapt", "execute", "score")
+STAGE_ORDER = (
+    "prune", "skeleton", "select", "llm", "adapt", "repair", "execute", "score"
+)
 
 _COLLECTOR: ContextVar[Optional[dict]] = ContextVar(
     "repro_stage_collector", default=None

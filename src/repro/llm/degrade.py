@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from repro.llm.errors import LLMError
+from repro.llm.errors import LLMError, failure_fields, failure_label
 from repro.llm.interface import LLM, LLMRequest, LLMResponse
 from repro.obs import runtime as obs
 
@@ -54,15 +54,15 @@ def run_ladder(
             try:
                 response = llm.complete(make_request())
             except LLMError as exc:
-                events.append(f"{type(exc).__name__}@{level}")
+                events.append(failure_label(exc, level))
                 if rung_span is not None:
-                    rung_span.attrs["error"] = type(exc).__name__
+                    rung_span.attrs.update(failure_fields(exc))
                 obs.count("degrade.rung_failures")
                 obs.event(
                     "degrade.rung_failed",
                     level="warning",
                     rung=level,
-                    error=type(exc).__name__,
+                    **failure_fields(exc),
                 )
                 continue
         obs.count("degrade.level", level=level)

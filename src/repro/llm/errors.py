@@ -98,3 +98,26 @@ class CircuitOpenError(LLMError):
     """
 
     retryable = False
+
+
+# ---------------------------------------------------------------------------
+# Failure formatting — the one spelling of "what failed" shared by the
+# degradation ladder's events, the harness's unanswered-task records, and
+# the repair loop's prompts.  Three call sites used to format this ad hoc;
+# keeping them here means a failure renders identically everywhere.
+# ---------------------------------------------------------------------------
+
+
+def failure_name(exc: BaseException) -> str:
+    """The canonical short name of one failure (its type name)."""
+    return type(exc).__name__
+
+
+def failure_label(exc: BaseException, rung: int) -> str:
+    """The ladder-event form, ``"ErrorType@rung"``."""
+    return f"{failure_name(exc)}@{rung}"
+
+
+def failure_fields(exc: BaseException) -> dict:
+    """Structured-event fields describing one failure."""
+    return {"error": failure_name(exc)}

@@ -105,6 +105,12 @@ class MockLLM:
         if demo_skeletons:
             rate *= 0.7
         hallucinate = derive_rng(base, "hallucination").random() < rate
+        if parsed.repair:
+            # A repair prompt pins the model's attention on the diagnosed
+            # defect: re-reading the schema against an explicit error
+            # report suppresses the systematic misread.  The draw above
+            # still happens so the rng stream is identical either way.
+            hallucinate = False
         texts = []
         for i in range(max(request.n, 1)):
             rng = derive_rng(base, "sample", i)

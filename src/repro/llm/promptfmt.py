@@ -75,6 +75,8 @@ class ParsedPrompt:
     demos: list = field(default_factory=list)
     task_schema: Optional[SchemaInfo] = None
     task_question: str = ""
+    #: Raw body of a ``### Repair`` section (empty on first-pass prompts).
+    repair: str = ""
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +176,8 @@ def parse_prompt(text: str) -> ParsedPrompt:
         header = header.strip()
         if header == "Instructions":
             parsed.instructions = body.strip()
+        elif header == "Repair":
+            parsed.repair = body.strip()
         elif header == "Example":
             demo = _parse_block(body)
             if demo is not None:

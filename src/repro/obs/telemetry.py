@@ -46,6 +46,13 @@ class RunTelemetry:
     #: Static pre-execution guard: predictions checked and skipped.
     guard_checked: int = 0
     guard_skipped: int = 0
+    #: Execution-feedback repair (docs/repair.md): tasks that entered the
+    #: loop, total rounds run, recoveries keyed by the round that healed
+    #: them (``{"1": 5, "2": 1}``), and abandonments keyed by reason.
+    repair_triggered: int = 0
+    repair_rounds: int = 0
+    repair_success_depth: dict = field(default_factory=dict)
+    repair_abandoned: dict = field(default_factory=dict)
     #: Per-rule static-analysis counts: ``{"sql.unknown-column": 4, ...}``.
     diagnostics: dict = field(default_factory=dict)
     events: int = 0
@@ -55,6 +62,11 @@ class RunTelemetry:
         """Prompt-cache hits over lookups (0.0 before the first lookup)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def repair_recovered(self) -> int:
+        """Tasks the repair loop healed (any depth)."""
+        return sum(self.repair_success_depth.values())
 
     @property
     def degraded(self) -> int:
@@ -92,6 +104,14 @@ class RunTelemetry:
             index_rebuilds=snapshot.counter("index.rebuilds"),
             guard_checked=snapshot.counter("guard.checked"),
             guard_skipped=snapshot.counter("guard.skipped"),
+            repair_triggered=snapshot.counter("repair.triggered"),
+            repair_rounds=snapshot.counter("repair.rounds"),
+            repair_success_depth=dict(
+                sorted(snapshot.labelled("repair.success_depth").items())
+            ),
+            repair_abandoned=dict(
+                sorted(snapshot.labelled("repair.abandoned").items())
+            ),
             diagnostics=dict(
                 sorted(snapshot.labelled("analysis.rule").items())
             ),
@@ -124,6 +144,11 @@ class RunTelemetry:
             "index_rebuilds": self.index_rebuilds,
             "guard_checked": self.guard_checked,
             "guard_skipped": self.guard_skipped,
+            "repair_triggered": self.repair_triggered,
+            "repair_rounds": self.repair_rounds,
+            "repair_recovered": self.repair_recovered,
+            "repair_success_depth": self.repair_success_depth,
+            "repair_abandoned": self.repair_abandoned,
             "diagnostics": self.diagnostics,
             "events": self.events,
         }

@@ -1,0 +1,23 @@
+"""Execution-feedback repair: the self-healing loop between adaption
+and scoring (docs/repair.md)."""
+
+from repro.repair.budget import RepairBudget
+from repro.repair.formatter import (
+    RepairDiagnosis,
+    empty_result_info,
+    failure_info,
+)
+from repro.repair.loop import RepairAttempt, RepairLoop, RepairReport
+from repro.repair.prompts import REPAIR_INSTRUCTIONS, build_repair_prompt
+
+__all__ = [
+    "RepairAttempt",
+    "RepairBudget",
+    "RepairDiagnosis",
+    "RepairLoop",
+    "RepairReport",
+    "REPAIR_INSTRUCTIONS",
+    "build_repair_prompt",
+    "empty_result_info",
+    "failure_info",
+]

@@ -1,0 +1,62 @@
+"""The repair loop's run-wide token ledger.
+
+Repair rounds are extra LLM calls on top of the translation budget the
+paper already accounts for, so they get their own cap: a single ledger
+shared by every task in a run (the harness shares one approach instance
+across workers).  ``None`` means unlimited — the per-task round cap is
+then the only brake.
+
+Determinism note: the ledger is thread-safe but *order-sensitive* — a
+binding token budget under parallel workers cuts off whichever task
+happens to ask last, which is scheduling-dependent.  Runs that must be
+byte-identical across worker counts should use an unlimited (or
+non-binding) token budget; the per-task round cap is worker-invariant
+either way.  docs/repair.md spells out the contract.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Optional
+
+
+class RepairBudget:
+    """A monotone token ledger with an optional hard cap."""
+
+    def __init__(self, max_tokens: Optional[int] = None):
+        if max_tokens is not None and max_tokens < 0:
+            raise ValueError("max_tokens must be non-negative or None")
+        self.max_tokens = max_tokens
+        self._lock = Lock()
+        self._spent = 0
+
+    @property
+    def spent(self) -> int:
+        """Total tokens charged so far."""
+        with self._lock:
+            return self._spent
+
+    def remaining(self) -> Optional[int]:
+        """Tokens left under the cap (``None`` when unlimited)."""
+        if self.max_tokens is None:
+            return None
+        with self._lock:
+            return max(self.max_tokens - self._spent, 0)
+
+    def exhausted(self) -> bool:
+        """Whether the cap has been reached (never, when unlimited)."""
+        if self.max_tokens is None:
+            return False
+        with self._lock:
+            return self._spent >= self.max_tokens
+
+    def charge(self, tokens: int) -> None:
+        """Record ``tokens`` spent.
+
+        Charges are applied *after* the call that incurred them, so a
+        round already in flight completes even if it overshoots; the
+        check-then-charge pattern bounds overshoot at one round per
+        worker.
+        """
+        with self._lock:
+            self._spent += tokens

@@ -1,0 +1,78 @@
+"""Structured failure diagnosis — what the repair prompt tells the model.
+
+One failed execution becomes one :class:`RepairDiagnosis`: the
+executor's normalized :class:`~repro.schema.errorinfo.ErrorInfo`, the
+static analyzer's diagnostics (each carrying the paper's hallucination
+``error_class`` as a fix hint), and the failed SQL itself.  Rendering is
+deterministic and layered — ``render()`` is the full report, and
+``render(compact=True)`` trims to the error line plus the single most
+relevant diagnostic, which is the degraded rung of the repair prompt
+ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.schema import ExecutionResult
+from repro.schema.errorinfo import ErrorInfo
+
+
+@dataclass(frozen=True)
+class RepairDiagnosis:
+    """Everything the repair prompt says about one failure."""
+
+    sql: str
+    error: ErrorInfo
+    diagnostics: tuple = ()
+
+    def diagnostic_lines(self, limit: Optional[int] = None) -> list:
+        """One bullet per analyzer finding, fix-hint class in brackets."""
+        lines = []
+        for diag in self.diagnostics[:limit]:
+            hint = f" [{diag.error_class}]" if diag.error_class else ""
+            lines.append(f"- {diag.rule}: {diag.message}{hint}")
+        return lines
+
+    def render(self, compact: bool = False) -> str:
+        """The ``### Repair`` section body (full or trimmed)."""
+        lines = [
+            f"Failed SQL: {self.sql}",
+            f"Error: {self.error.render()}",
+        ]
+        bullets = self.diagnostic_lines(1 if compact else None)
+        if bullets:
+            lines.append("Diagnosis:")
+            lines.extend(bullets)
+        return "\n".join(lines)
+
+
+def failure_info(result: ExecutionResult) -> ErrorInfo:
+    """The normalized error of a failed execution.
+
+    Falls back to a generic ``execution-error`` for backends that did
+    not attach an :class:`ErrorInfo` — the repair prompt still renders.
+    """
+    if result.info is not None:
+        return result.info
+    return ErrorInfo(
+        code="execution-error",
+        category="unknown",
+        message=result.error or "execution failed",
+    )
+
+
+def empty_result_info(table: str) -> ErrorInfo:
+    """The suspicious-empty trigger: a shape-implies-rows query came back
+    empty although its table has rows — the model selected from the
+    wrong place."""
+    return ErrorInfo(
+        code="empty-result",
+        category="schema",
+        message=(
+            f"query returned no rows, but table {table} is non-empty and "
+            "the query's shape returns one row per table row"
+        ),
+        identifier=table,
+    )

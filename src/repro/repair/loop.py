@@ -1,0 +1,236 @@
+"""The execution-feedback repair loop — iterative, budget-capped
+self-healing between adaption and scoring.
+
+The pipeline's consistency vote can still elect a failing query: when
+every candidate shares a systematic hallucination, adaption's local
+fixers may not reach it.  The loop closes that gap with *execution
+feedback*: it diagnoses the failure (normalized error + static analyzer
+findings + the schema slice), re-prompts the LLM for a correction, and
+re-runs the static guard and executor on each candidate, up to a
+per-task round cap and a run-wide token budget.
+
+State machine (docs/repair.md):
+
+    TRIGGER ── failed execution, or a suspicious-empty result
+       │
+       ▼
+    round r: DIAGNOSE → PROMPT (full rung, then compact rung)
+             → ADAPT + GUARD → EXECUTE
+       │                         │
+       │ still failing           │ ok
+       ▼                         ▼
+    next round (or ABANDON:    RECOVERED at depth r
+    rounds-exhausted /
+    token-budget /
+    ladder-exhausted)
+
+Abandoning always returns the *original* SQL — repair never replaces a
+failing answer with a different failing answer, so disabling the loop
+can only remove behaviour, never change it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.sqlcheck import fatal_diagnostics
+from repro.eval.cost import TokenUsage
+from repro.eval.execution import shape_implies_rows
+from repro.llm.degrade import run_ladder
+from repro.llm.interface import LLM, LLMRequest
+from repro.obs import runtime as obs
+from repro.repair.budget import RepairBudget
+from repro.repair.formatter import (
+    RepairDiagnosis,
+    empty_result_info,
+    failure_info,
+)
+from repro.repair.prompts import build_repair_prompt
+
+
+@dataclass(frozen=True)
+class RepairAttempt:
+    """One candidate the loop produced and tested."""
+
+    round: int
+    sql: str
+    #: Which repair-prompt rung answered (0 = full, 1 = compact).
+    rung: int
+    ok: bool
+    #: ``ErrorInfo.code`` when the candidate still failed.
+    error: Optional[str] = None
+
+
+@dataclass
+class RepairReport:
+    """What one invocation of the loop did."""
+
+    sql: str
+    triggered: bool = False
+    repaired: bool = False
+    rounds: int = 0
+    #: Why the loop gave up: ``rounds-exhausted`` / ``token-budget`` /
+    #: ``ladder-exhausted``; ``None`` when not triggered or recovered.
+    abandoned: Optional[str] = None
+    usage: TokenUsage = field(default_factory=TokenUsage)
+    attempts: tuple = ()
+
+    @property
+    def success_depth(self) -> int:
+        """The round that recovered (0 when none did)."""
+        return self.rounds if self.repaired else 0
+
+
+class RepairLoop:
+    """Drives repair rounds for one pipeline.
+
+    Shares the pipeline's executor (result cache included) and its
+    :class:`~repro.core.adaption.DatabaseAdapter` — the same fixers and
+    diagnosis path adaption uses, per the one-spelling rule.  The
+    ``budget`` ledger is run-wide; ``max_rounds`` is per task.
+    """
+
+    def __init__(
+        self,
+        llm: LLM,
+        executor,
+        adapter,
+        max_rounds: int,
+        budget: Optional[RepairBudget] = None,
+    ):
+        self.llm = llm
+        self.executor = executor
+        self.adapter = adapter
+        self.max_rounds = max_rounds
+        self.budget = budget
+
+    def run(
+        self,
+        sql: str,
+        database,
+        schema_text: str,
+        compact_schema_text: str,
+        question: str,
+    ) -> RepairReport:
+        """Repair ``sql`` against ``database`` if (and only if) it fails."""
+        key = self.executor.register(database)
+        failure = self._failure(key, sql, database)
+        if failure is None:
+            return RepairReport(sql=sql)
+        obs.count("repair.triggered")
+        current = sql
+        usage = TokenUsage()
+        attempts: list = []
+
+        def _report(**kw) -> RepairReport:
+            return RepairReport(
+                triggered=True, usage=usage, attempts=tuple(attempts), **kw
+            )
+
+        for round_no in range(1, self.max_rounds + 1):
+            if self.budget is not None and self.budget.exhausted():
+                return self._abandon(
+                    _report, sql, round_no - 1, "token-budget"
+                )
+            obs.count("repair.rounds")
+            with obs.span("repair.round", round=round_no, error=failure.code):
+                diagnosis = RepairDiagnosis(
+                    sql=current,
+                    error=failure,
+                    diagnostics=tuple(
+                        self.adapter.diagnose(current, database)
+                    ),
+                )
+
+                def _full_rung() -> LLMRequest:
+                    return LLMRequest(
+                        prompt=build_repair_prompt(
+                            diagnosis, schema_text, question
+                        ),
+                        n=1,
+                    )
+
+                def _compact_rung() -> LLMRequest:
+                    return LLMRequest(
+                        prompt=build_repair_prompt(
+                            diagnosis,
+                            compact_schema_text,
+                            question,
+                            compact=True,
+                        ),
+                        n=1,
+                    )
+
+                outcome = run_ladder(self.llm, [_full_rung, _compact_rung])
+                if not outcome.ok:
+                    return self._abandon(
+                        _report, sql, round_no, "ladder-exhausted"
+                    )
+                response = outcome.response
+                round_usage = TokenUsage(
+                    prompt_tokens=response.prompt_tokens,
+                    output_tokens=response.output_tokens,
+                    calls=1,
+                )
+                usage.add(round_usage)
+                if self.budget is not None:
+                    self.budget.charge(round_usage.total_tokens)
+                candidate = response.texts[0] if response.texts else ""
+                # The candidate goes through the same gauntlet as a
+                # first-pass answer: adaption's fixers, the static
+                # guard, then real execution.
+                adapted = self.adapter.adapt(candidate, database)
+                if fatal_diagnostics(
+                    self.adapter.diagnose(adapted.sql, database)
+                ):
+                    obs.count("repair.guard_rejected")
+                new_failure = self._failure(key, adapted.sql, database)
+                attempts.append(
+                    RepairAttempt(
+                        round=round_no,
+                        sql=adapted.sql,
+                        rung=outcome.level,
+                        ok=new_failure is None,
+                        error=None if new_failure is None else new_failure.code,
+                    )
+                )
+                if new_failure is None:
+                    obs.count("repair.success_depth", depth=round_no)
+                    obs.event(
+                        "repair.recovered",
+                        rounds=round_no,
+                        error=failure.code,
+                    )
+                    return _report(
+                        sql=adapted.sql, repaired=True, rounds=round_no
+                    )
+                current, failure = adapted.sql, new_failure
+        return self._abandon(_report, sql, self.max_rounds, "rounds-exhausted")
+
+    # -- internals ----------------------------------------------------------------
+
+    def _failure(self, key: str, sql: str, database):
+        """The normalized failure of ``sql``, or None when it is healthy.
+
+        A query fails when execution errors, or when it returns no rows
+        although :func:`shape_implies_rows` says it must return one row
+        per row of a table that is non-empty (the suspicious-empty
+        trigger — conservative by construction, so legitimate empty
+        results never enter the loop).
+        """
+        result = self.executor.execute(key, sql)
+        if not result.ok:
+            return failure_info(result)
+        if not result.rows:
+            table = shape_implies_rows(sql)
+            if table is not None and database.table_rows(table):
+                return empty_result_info(table)
+        return None
+
+    def _abandon(self, _report, original_sql: str, rounds: int, reason: str):
+        obs.count("repair.abandoned", reason=reason)
+        obs.event(
+            "repair.abandoned", level="warning", reason=reason, rounds=rounds
+        )
+        return _report(sql=original_sql, rounds=rounds, abandoned=reason)

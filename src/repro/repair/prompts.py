@@ -1,0 +1,37 @@
+"""Repair prompt rendering.
+
+A repair prompt is a regular prompt (the MockLLM parses it with the
+same :func:`~repro.llm.promptfmt.parse_prompt`) with one extra
+``### Repair`` section carrying the rendered diagnosis between the
+instructions and the task.  Two sizes exist, forming the repair loop's
+own two-rung prompt ladder: the full diagnosis over the schema slice
+the model already saw, and a compact variant (value-free schema,
+trimmed diagnosis) for when the full repair prompt itself fails —
+repair rounds degrade prompt size before giving up.
+"""
+
+from __future__ import annotations
+
+from repro.llm.promptfmt import render_task
+from repro.repair.formatter import RepairDiagnosis
+
+REPAIR_INSTRUCTIONS = (
+    "Your previous SQL failed against the database. Read the error "
+    "report below, then write a corrected SQLite query for the task. "
+    "Use only tables and columns that appear in the schema."
+)
+
+
+def build_repair_prompt(
+    diagnosis: RepairDiagnosis,
+    task_schema_text: str,
+    question: str,
+    compact: bool = False,
+) -> str:
+    """Assemble one repair prompt from pre-rendered pieces."""
+    sections = [
+        f"### Instructions\n{REPAIR_INSTRUCTIONS}",
+        f"### Repair\n{diagnosis.render(compact=compact)}",
+        render_task(task_schema_text, question),
+    ]
+    return "\n\n".join(sections)

@@ -1,5 +1,10 @@
 """Database schema model, schema graph, and SQLite execution backend."""
 
+from repro.schema.errorinfo import (
+    ErrorInfo,
+    exception_text,
+    normalize_sqlite_error,
+)
 from repro.schema.graph import SchemaGraph
 from repro.schema.model import Column, Database, ForeignKey, Schema, Table
 from repro.schema.sqlite_backend import (
@@ -18,8 +23,11 @@ __all__ = [
     "Table",
     "SchemaGraph",
     "CacheInfo",
+    "ErrorInfo",
     "ExecutionResult",
     "ExecutorStats",
     "SQLiteExecutor",
     "create_sqlite",
+    "exception_text",
+    "normalize_sqlite_error",
 ]

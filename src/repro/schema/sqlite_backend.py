@@ -20,6 +20,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.obs import runtime as obs
+from repro.schema.errorinfo import (
+    ErrorInfo,
+    normalize_sqlite_error,
+    row_cap_info,
+    timeout_info,
+    unknown_database_info,
+)
 from repro.schema.model import Database
 
 _SQL_TYPE = {"text": "TEXT", "integer": "INTEGER", "real": "REAL"}
@@ -30,14 +37,16 @@ class ExecutionResult:
     """Outcome of executing one SQL query.
 
     ``rows`` is None when execution failed; ``error`` carries the DBMS
-    message in that case, and ``timed_out`` marks statement-timeout
-    interrupts specifically.
+    message in that case, ``info`` its normalized classification
+    (:class:`~repro.schema.errorinfo.ErrorInfo`), and ``timed_out``
+    marks statement-timeout interrupts specifically.
     """
 
     rows: Optional[list[tuple]] = None
     error: Optional[str] = None
     columns: list[str] = field(default_factory=list)
     timed_out: bool = False
+    info: Optional[ErrorInfo] = None
 
     @property
     def ok(self) -> bool:
@@ -182,7 +191,8 @@ class SQLiteExecutor:
             obs.count("executor.statements")
             conn = self._connections.get(key)
             if conn is None:
-                result = ExecutionResult(error=f"unknown database {key!r}")
+                info = unknown_database_info(key)
+                result = ExecutionResult(error=info.message, info=info)
             else:
                 with obs.span("sql.execute", db=key):
                     result = self._run(conn, sql)
@@ -239,23 +249,22 @@ class SQLiteExecutor:
             cursor = conn.execute(sql)
             rows = cursor.fetchmany(self.max_rows + 1)
             if len(rows) > self.max_rows:
-                return ExecutionResult(error="result exceeds row cap")
+                info = row_cap_info(self.max_rows)
+                return ExecutionResult(
+                    error="result exceeds row cap", info=info
+                )
             columns = (
                 [d[0] for d in cursor.description] if cursor.description else []
             )
             return ExecutionResult(rows=[tuple(r) for r in rows], columns=columns)
-        except sqlite3.OperationalError as exc:
-            if deadline is not None and "interrupt" in str(exc).lower():
-                return ExecutionResult(
-                    error=(
-                        "statement timeout after "
-                        f"{self.statement_timeout:g}s"
-                    ),
-                    timed_out=True,
-                )
-            return ExecutionResult(error=str(exc))
         except sqlite3.Error as exc:
-            return ExecutionResult(error=str(exc))
+            info = normalize_sqlite_error(exc)
+            if deadline is not None and info.code == "interrupted":
+                info = timeout_info(self.statement_timeout)
+                return ExecutionResult(
+                    error=info.message, timed_out=True, info=info
+                )
+            return ExecutionResult(error=info.message, info=info)
         finally:
             if deadline is not None:
                 conn.set_progress_handler(None, 0)

@@ -143,6 +143,64 @@ class TestMissingDocstringRule:
         assert len(self.run_scoped(tmp_path, source, subdir="repro/store")) == 1
 
 
+class TestNoRawExcStr:
+    RULE = "py.no-raw-exc-str"
+
+    def test_str_of_caught_exception_flagged(self, tmp_path):
+        source = (
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    msg = str(exc)\n"
+        )
+        findings = run_rule(tmp_path, self.RULE, source)
+        assert [(d.rule, d.span.line) for d in findings] == [(self.RULE, 4)]
+        assert "exception_text" in findings[0].fix_hint["replace_with"]
+
+    def test_nested_use_in_fstring_flagged(self, tmp_path):
+        source = (
+            "try:\n"
+            "    pass\n"
+            "except KeyError as exc:\n"
+            "    raise SystemExit(f'bad: {str(exc)}')\n"
+        )
+        assert len(run_rule(tmp_path, self.RULE, source)) == 1
+
+    def test_other_str_calls_unflagged(self, tmp_path):
+        source = (
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    a = str(42)\n"        # not the handler's name
+            "    b = str(exc.args)\n"  # attribute, not the bare exception
+            "    c = repr(exc)\n"
+            "x = str('fine')\n"
+        )
+        assert run_rule(tmp_path, self.RULE, source) == []
+
+    def test_waiver_and_allowlist(self, tmp_path):
+        source = (
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    msg = str(exc)  # noqa: no-raw-exc-str\n"
+        )
+        assert run_rule(tmp_path, self.RULE, source) == []
+        # The errorinfo module itself is exempt by path.
+        allowed = tmp_path / "repro" / "schema"
+        allowed.mkdir(parents=True)
+        (allowed / "errorinfo.py").write_text(
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    msg = str(exc)\n"
+        )
+        engine = LintEngine(
+            root=tmp_path / "repro", rules={self.RULE: REGISTRY[self.RULE]}
+        )
+        assert engine.run() == []
+
+
 class TestSelfClean:
     def test_package_tree_is_clean(self):
         findings = lint_tree()

@@ -7,6 +7,7 @@ metrics must actually see every wrapper in the production stack when
 faults are injected.
 """
 
+import dataclasses
 import threading
 
 import pytest
@@ -186,6 +187,85 @@ class TestAcceptanceFullStack:
 
         payload = json.loads(json.dumps(telemetry.as_dict()))
         assert payload["tasks"] == 2 * LIMIT
+
+
+#: Hot enough that the consistency vote regularly elects a failing
+#: query, so the repair loop actually triggers on a small limit.
+_SLOPPY = dataclasses.replace(
+    CHATGPT, name="sloppy", hallucination_rate=0.5
+)
+
+
+def repair_purple(train, llm, **overrides):
+    return api.create(
+        "purple", llm=llm, train=train, consistency_n=3,
+        use_adaption=False, **overrides,
+    )
+
+
+class TestRepairDeterminism:
+    """The repair loop must preserve the engine's determinism contract:
+    worker-count-invariant under fault injection (repair LLM calls ride
+    the same per-task lanes), and byte-identical to seed behaviour when
+    disabled."""
+
+    def _faulty_run(self, train_set, dev_set, workers, observer):
+        llm = FaultyLLM(
+            MockLLM(_SLOPPY, seed=11),
+            FaultPolicy(
+                rate_limit=0.1, timeout=0.05, server_error=0.05,
+                truncation=0.12, seed=11, scope="task",
+            ),
+        )
+        llm = ResilientLLM(llm, clock=FakeClock())
+        return evaluate_approach(
+            repair_purple(train_set, llm, repair_rounds=2),
+            dev_set, limit=LIMIT, workers=workers, observer=observer,
+        )
+
+    @staticmethod
+    def _shape(report, observer):
+        outcomes = [
+            (o.ex_id, o.predicted_sql, o.em, o.ex, o.repair_rounds,
+             o.repaired)
+            for o in report.outcomes
+        ]
+        spans = [
+            (s.span_id, s.parent_id, s.name, s.lane, s.seq)
+            for s in observer.tracer.spans()
+        ]
+        return outcomes, spans
+
+    def test_fault_injected_repair_run_is_worker_invariant(
+        self, train_set, dev_set
+    ):
+        serial_obs = Observer(seed=5)
+        serial = self._faulty_run(train_set, dev_set, 1, serial_obs)
+        parallel_obs = Observer(seed=5)
+        parallel = self._faulty_run(train_set, dev_set, WORKERS, parallel_obs)
+        # The loop must actually have run for this test to mean anything.
+        assert serial.telemetry.repair_triggered > 0
+        assert self._shape(serial, serial_obs) == self._shape(
+            parallel, parallel_obs
+        )
+
+    def test_repair_disabled_is_byte_identical_to_seed_behavior(
+        self, train_set, dev_set
+    ):
+        def run(**overrides):
+            observer = Observer(seed=5)
+            report = evaluate_approach(
+                repair_purple(
+                    train_set, MockLLM(_SLOPPY, seed=11), **overrides
+                ),
+                dev_set, limit=LIMIT, workers=WORKERS, observer=observer,
+            )
+            return self._shape(report, observer)
+
+        # repair_rounds=0 (the CLI default) against a build that never
+        # mentions repair: same outcomes AND the same trace — the
+        # disabled loop adds no spans, metrics, or executor calls.
+        assert run(repair_rounds=0) == run()
 
 
 class _BlockingLLM:

@@ -1,0 +1,40 @@
+"""Shared fixtures for the repair-loop tests: a tiny two-table shop."""
+
+import pytest
+
+from repro.schema import Column, Database, ForeignKey, Schema, Table
+
+
+@pytest.fixture
+def shop():
+    schema = Schema(
+        db_id="shop",
+        tables=[
+            Table(
+                name="customer",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("name", "text"),
+                    Column("country", "text"),
+                ],
+            ),
+            Table(
+                name="orders",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("customer_id", "integer"),
+                    Column("total", "real"),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("orders", "customer_id", "customer", "id")],
+    )
+    return Database(
+        schema=schema,
+        rows={
+            "customer": [(1, "Ada", "UK"), (2, "Bo", "USA"), (3, "Cy", "UK")],
+            "orders": [(1, 1, 10.0), (2, 1, 25.0), (3, 2, 5.0)],
+        },
+    )

@@ -1,0 +1,45 @@
+"""Tests for the repair loop's run-wide token ledger."""
+
+import threading
+
+import pytest
+
+from repro.repair import RepairBudget
+
+
+class TestRepairBudget:
+    def test_unlimited_never_exhausts(self):
+        budget = RepairBudget(None)
+        budget.charge(10**9)
+        assert not budget.exhausted()
+        assert budget.remaining() is None
+        assert budget.spent == 10**9
+
+    def test_cap_reached(self):
+        budget = RepairBudget(100)
+        assert not budget.exhausted()
+        budget.charge(60)
+        assert budget.remaining() == 40
+        budget.charge(60)  # overshoot is allowed, then the gate closes
+        assert budget.exhausted()
+        assert budget.remaining() == 0
+        assert budget.spent == 120
+
+    def test_zero_cap_is_immediately_exhausted(self):
+        assert RepairBudget(0).exhausted()
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RepairBudget(-1)
+
+    def test_concurrent_charges_all_land(self):
+        budget = RepairBudget(None)
+        threads = [
+            threading.Thread(target=lambda: [budget.charge(1) for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert budget.spent == 8000

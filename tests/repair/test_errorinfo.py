@@ -1,0 +1,129 @@
+"""Tests for normalized execution-error information."""
+
+import sqlite3
+
+import pytest
+
+from repro.schema import SQLiteExecutor
+from repro.schema.errorinfo import (
+    ErrorInfo,
+    exception_text,
+    normalize_sqlite_error,
+    row_cap_info,
+    timeout_info,
+    unknown_database_info,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "message, code, category, identifier",
+        [
+            ("no such table: users", "no-such-table", "schema", "users"),
+            ("no such column: age", "no-such-column", "schema", "age"),
+            ("ambiguous column name: id", "ambiguous-column", "schema", "id"),
+            ("no such function: regex", "no-such-function", "schema", "regex"),
+            ("misuse of aggregate: count()", "aggregate-misuse", "schema",
+             "count"),
+            ("wrong number of arguments to function substr()",
+             "function-arity", "schema", "substr"),
+            ('near "FORM": syntax error', "syntax-error", "syntax", "form"),
+            ("incomplete input", "syntax-error", "syntax", None),
+            ("interrupted", "interrupted", "resource", None),
+            ("database disk image is malformed", "sqlite-error", "unknown",
+             None),
+        ],
+    )
+    def test_message_shapes(self, message, code, category, identifier):
+        info = normalize_sqlite_error(sqlite3.OperationalError(message))
+        assert info.code == code
+        assert info.category == category
+        assert info.identifier == identifier
+        assert info.message == message
+
+    def test_real_sqlite_errors_normalize(self):
+        conn = sqlite3.connect(":memory:")
+        cases = [
+            ("SELECT * FROM missing", "no-such-table", "missing"),
+            ("SELECT * FROM", "syntax-error", None),
+        ]
+        for sql, code, ident in cases:
+            try:
+                conn.execute(sql)
+            except sqlite3.Error as exc:
+                info = normalize_sqlite_error(exc)
+                assert info.code == code
+                if ident is not None:
+                    assert info.identifier == ident
+            else:  # pragma: no cover - the statements above must fail
+                pytest.fail(f"{sql} unexpectedly succeeded")
+
+    def test_render_is_one_line(self):
+        info = ErrorInfo("no-such-table", "schema", "no such table: t", "t")
+        assert info.render() == "no-such-table (schema): no such table: t [t]"
+        assert "\n" not in info.render()
+
+
+class TestSyntheticInfos:
+    def test_timeout_info(self):
+        info = timeout_info(0.5)
+        assert info.code == "statement-timeout"
+        assert info.category == "resource"
+        assert "0.5s" in info.message
+
+    def test_row_cap_info(self):
+        info = row_cap_info(100)
+        assert info.code == "row-cap"
+        assert "100" in info.message
+
+    def test_unknown_database_info(self):
+        info = unknown_database_info("nope")
+        assert info.code == "unknown-database"
+        assert info.category == "infra"
+        assert info.identifier == "nope"
+
+
+class TestExceptionText:
+    def test_unwraps_single_string_arg(self):
+        assert exception_text(KeyError("x")) == "x"
+        assert exception_text(ValueError("boom")) == "boom"
+
+    def test_falls_back_to_str(self):
+        assert exception_text(ValueError(1, 2)) == "(1, 2)"
+
+
+class TestExecutorAttachesInfo:
+    def test_failed_execution_carries_info(self, shop):
+        with SQLiteExecutor() as ex:
+            key = ex.register(shop)
+            result = ex.execute(key, "SELECT nope FROM customer")
+        assert not result.ok
+        assert result.info is not None
+        assert result.info.code == "no-such-column"
+        assert result.info.identifier == "nope"
+        # The legacy error string is preserved verbatim.
+        assert result.error == result.info.message
+
+    def test_unknown_database_carries_info(self, shop):
+        with SQLiteExecutor() as ex:
+            result = ex.execute("missing-key", "SELECT 1")
+        assert not result.ok
+        assert result.info.code == "unknown-database"
+
+    def test_successful_execution_has_no_info(self, shop):
+        with SQLiteExecutor() as ex:
+            key = ex.register(shop)
+            result = ex.execute(key, "SELECT name FROM customer")
+        assert result.ok
+        assert result.info is None
+
+    def test_timeout_carries_info(self, shop):
+        with SQLiteExecutor(statement_timeout=0.001) as ex:
+            key = ex.register(shop)
+            result = ex.execute(
+                key,
+                "WITH RECURSIVE c(x) AS (SELECT 1 UNION ALL "
+                "SELECT x + 1 FROM c) SELECT COUNT(*) FROM c",
+            )
+        assert result.timed_out
+        assert result.info.code == "statement-timeout"

@@ -1,0 +1,98 @@
+"""Tests for the repair diagnosis formatter and prompt rendering."""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.llm.promptfmt import parse_prompt
+from repro.repair import (
+    RepairDiagnosis,
+    build_repair_prompt,
+    empty_result_info,
+    failure_info,
+)
+from repro.schema import ExecutionResult
+from repro.schema.errorinfo import ErrorInfo
+
+
+def diagnosis():
+    return RepairDiagnosis(
+        sql="SELECT nope FROM customer",
+        error=ErrorInfo(
+            "no-such-column", "schema", "no such column: nope", "nope"
+        ),
+        diagnostics=(
+            Diagnostic(
+                rule="sql.unknown-column",
+                message="column nope not in table customer",
+                fix_hint={"error_class": "C1"},
+            ),
+            Diagnostic(
+                rule="sql.type-mismatch",
+                message="text compared to integer",
+                severity="warning",
+            ),
+        ),
+    )
+
+
+class TestDiagnosisRender:
+    def test_full_render_has_all_parts(self):
+        text = diagnosis().render()
+        assert "Failed SQL: SELECT nope FROM customer" in text
+        assert "no-such-column (schema): no such column: nope [nope]" in text
+        assert "- sql.unknown-column: column nope not in table customer [C1]" in text
+        assert "- sql.type-mismatch: text compared to integer" in text
+
+    def test_compact_render_trims_to_first_diagnostic(self):
+        compact = diagnosis().render(compact=True)
+        assert "sql.unknown-column" in compact
+        assert "sql.type-mismatch" not in compact
+        assert len(compact) < len(diagnosis().render())
+
+    def test_no_diagnostics_renders_error_only(self):
+        bare = RepairDiagnosis(
+            sql="SELECT 1", error=ErrorInfo("sqlite-error", "unknown", "boom")
+        )
+        assert "Diagnosis:" not in bare.render()
+
+
+class TestFailureInfo:
+    def test_prefers_attached_info(self):
+        info = ErrorInfo("no-such-table", "schema", "no such table: t", "t")
+        result = ExecutionResult(error="no such table: t", info=info)
+        assert failure_info(result) is info
+
+    def test_falls_back_to_error_text(self):
+        result = ExecutionResult(error="weird failure")
+        info = failure_info(result)
+        assert info.code == "execution-error"
+        assert info.message == "weird failure"
+
+    def test_empty_result_info_names_the_table(self):
+        info = empty_result_info("customer")
+        assert info.code == "empty-result"
+        assert info.identifier == "customer"
+
+
+class TestRepairPrompt:
+    def test_prompt_round_trips_through_the_parser(self):
+        prompt = build_repair_prompt(
+            diagnosis(),
+            "Database: shop\nTable customer (id:integer*, name:text)",
+            "List all customer names",
+        )
+        parsed = parse_prompt(prompt)
+        assert "Failed SQL: SELECT nope FROM customer" in parsed.repair
+        assert parsed.task_question == "List all customer names"
+        assert parsed.task_schema is not None
+        assert parsed.task_schema.table_names() == ["customer"]
+        assert parsed.instructions  # the repair instructions block
+
+    def test_first_pass_prompts_have_no_repair_section(self):
+        parsed = parse_prompt("### Task\nDatabase: shop\nQuestion: hi\nSQL:")
+        assert parsed.repair == ""
+
+    def test_compact_prompt_is_smaller(self):
+        full = build_repair_prompt(diagnosis(), "schema text", "q")
+        compact = build_repair_prompt(
+            diagnosis(), "schema text", "q", compact=True
+        )
+        assert len(compact) < len(full)

@@ -1,0 +1,124 @@
+"""Integration: the repair loop inside the PURPLE pipeline."""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT, MockLLM
+from repro.obs import Observer
+
+#: Hot enough that consistency voting regularly elects a failing query
+#: (hallucinations are systematic per prompt), small enough to stay fast.
+SLOPPY = dataclasses.replace(CHATGPT, name="sloppy", hallucination_rate=0.5)
+LIMIT = 24
+
+
+def purple(train, **overrides):
+    return api.create(
+        "purple",
+        llm=MockLLM(SLOPPY, seed=11),
+        train=train,
+        consistency_n=3,
+        use_adaption=False,
+        **overrides,
+    )
+
+
+def outcomes_of(report):
+    return [
+        (o.ex_id, o.predicted_sql, o.em, o.ex) for o in report.outcomes
+    ]
+
+
+class TestPipelineRepair:
+    @pytest.fixture(scope="class")
+    def reports(self, train_set, dev_set):
+        off = evaluate_approach(
+            purple(train_set), dev_set, limit=LIMIT, workers=1
+        )
+        observer = Observer(seed=5)
+        on = evaluate_approach(
+            purple(train_set, repair_rounds=2),
+            dev_set,
+            limit=LIMIT,
+            workers=1,
+            observer=observer,
+        )
+        return off, on, observer
+
+    def test_repair_recovers_execution_accuracy(self, reports):
+        off, on, _ = reports
+        assert on.telemetry.repair_triggered > 0
+        assert on.telemetry.repair_recovered > 0
+        assert on.ex > off.ex
+        assert on.em >= off.em
+
+    def test_outcomes_carry_repair_fields(self, reports):
+        _, on, _ = reports
+        assert on.total_repair_rounds > 0
+        assert on.repaired_count > 0
+        repaired = [o for o in on.outcomes if o.repaired]
+        assert all(o.repair_rounds >= 1 for o in repaired)
+
+    def test_repair_usage_charged_through_cost_accounting(self, reports):
+        off, on, _ = reports
+        assert on.usage.total_tokens > off.usage.total_tokens
+        assert on.usage.calls > off.usage.calls
+
+    def test_repair_stage_and_spans_traced(self, reports):
+        _, _, observer = reports
+        names = {s.name for s in observer.tracer.spans()}
+        assert "stage:repair" in names
+        assert "repair.round" in names
+
+    def test_telemetry_surfaces_depth_histogram(self, reports):
+        _, on, _ = reports
+        depth = on.telemetry.repair_success_depth
+        assert depth  # at least one recovery bucket
+        assert sum(depth.values()) == on.telemetry.repair_recovered
+        payload = on.telemetry.as_dict()
+        assert payload["repair_triggered"] == on.telemetry.repair_triggered
+        assert payload["repair_success_depth"] == depth
+
+    def test_disabled_repair_is_byte_identical_to_default(
+        self, train_set, dev_set
+    ):
+        default = evaluate_approach(
+            purple(train_set), dev_set, limit=LIMIT, workers=1
+        )
+        zero = evaluate_approach(
+            purple(train_set, repair_rounds=0),
+            dev_set,
+            limit=LIMIT,
+            workers=1,
+        )
+        assert default.outcomes == zero.outcomes
+        assert default.usage == zero.usage
+
+    def test_best_effort_answers_skip_repair(self, train_set, dev_set):
+        # An LLM that always fails exhausts the ladder; the pipeline must
+        # return its best-effort SELECT without entering the repair loop.
+        from repro.llm.errors import ServerError
+
+        class DeadLLM:
+            name = "dead"
+
+            def complete(self, request):
+                raise ServerError("down")
+
+        approach = api.create(
+            "purple",
+            llm=DeadLLM(),
+            train=train_set,
+            consistency_n=3,
+            repair_rounds=2,
+        )
+        observer = Observer(seed=5)
+        report = evaluate_approach(
+            approach, dev_set, limit=4, workers=1, observer=observer
+        )
+        assert all(not o.answered for o in report.outcomes)
+        assert report.telemetry.repair_triggered == 0
+        assert all(o.repair_rounds == 0 for o in report.outcomes)

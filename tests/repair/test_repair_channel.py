@@ -1,0 +1,46 @@
+"""The MockLLM's repair-answer channel: a ``### Repair`` section pins
+the model's attention, suppressing the systematic hallucination draw
+without disturbing any rng stream."""
+
+import dataclasses
+
+from repro.llm import CHATGPT, LLMRequest, MockLLM
+from repro.llm.promptfmt import parse_prompt
+
+SCHEMA = (
+    "Database: shop\n"
+    "Table customer (id:integer*, name:text ['Ada'|'Bo'], country:text)"
+)
+TASK = f"### Task\n{SCHEMA}\nQuestion: List all customer names\nSQL:"
+REPAIR = (
+    "### Repair\n"
+    "Failed SQL: SELECT nope FROM customer\n"
+    "Error: no-such-column (schema): no such column: nope [nope]\n\n"
+) + TASK
+
+
+def llm(rate):
+    profile = dataclasses.replace(
+        CHATGPT, name=f"hallucinating-{rate}", hallucination_rate=rate
+    )
+    return MockLLM(profile, seed=3)
+
+
+class TestRepairChannel:
+    def test_repair_section_parses(self):
+        parsed = parse_prompt(REPAIR)
+        assert parsed.repair.startswith("Failed SQL:")
+        assert parsed.task_question == "List all customer names"
+
+    def test_repair_prompt_never_hallucinates(self):
+        # With the hallucination rate forced to 1.0 the repair prompt's
+        # answer must equal the rate-0 answer for the same prompt — the
+        # channel forces the draw's outcome without consuming rng state.
+        always = llm(1.0).complete(LLMRequest(prompt=REPAIR, n=4))
+        never = llm(0.0).complete(LLMRequest(prompt=REPAIR, n=4))
+        assert always.texts == never.texts
+
+    def test_first_pass_prompts_still_hallucinate(self):
+        always = llm(1.0).complete(LLMRequest(prompt=TASK, n=4))
+        never = llm(0.0).complete(LLMRequest(prompt=TASK, n=4))
+        assert always.texts != never.texts

@@ -74,6 +74,35 @@ class TestEvaluate:
         assert code == 0
         assert "by hardness" in capsys.readouterr().out
 
+    def test_repair_flags_accepted_and_reported(self, corpus_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--approach", "purple",
+                "--consistency", "3",
+                "--limit", "8",
+                "--repair-rounds", "2",
+                "--repair-token-budget", "100000",
+                "--log-level", "error",
+            ]
+        )
+        assert code == 0
+        assert "EM" in capsys.readouterr().out
+
+    def test_repair_flags_rejected_for_other_approaches(self, corpus_dir):
+        with pytest.raises(SystemExit, match="purple approach only"):
+            main(
+                [
+                    "evaluate",
+                    "--train", str(corpus_dir / "train.json"),
+                    "--dev", str(corpus_dir / "dev.json"),
+                    "--approach", "zero",
+                    "--repair-rounds", "2",
+                ]
+            )
+
     def test_unknown_approach_rejected(self, corpus_dir):
         with pytest.raises(SystemExit):
             main(
