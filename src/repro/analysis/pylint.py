@@ -320,6 +320,42 @@ def _no_raw_exc_str(ctx: FileContext):
                 }
 
 
+#: The serving package: request-handler threads must never block
+#: unboundedly.
+_HANDLER_ROOT = "repro/serve"
+
+
+@rule(
+    "py.no-blocking-in-handler",
+    "the serving layer runs on request-handler threads; time.sleep() "
+    "stalls a handler (use the injectable Clock) and an unbounded "
+    ".join() can hang shutdown forever (pass a timeout)",
+)
+def _no_blocking_in_handler(ctx: FileContext):
+    if not str(ctx.path).startswith(_HANDLER_ROOT):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted == "time.sleep":
+            yield node, "time.sleep() in the serving layer", {
+                "replace_with": "an injectable repro.llm.resilient.Clock",
+            }
+            continue
+        # A zero-argument .join() is a thread/queue join with no bound
+        # (str.join always takes the iterable argument).
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and not node.args
+            and not any(kw.arg == "timeout" for kw in node.keywords)
+        ):
+            yield node, "unbounded .join() in the serving layer", {
+                "replace_with": ".join(timeout=...) with a bounded wait",
+            }
+
+
 @rule(
     "py.mutable-default",
     "mutable default arguments are shared across calls; default to None "

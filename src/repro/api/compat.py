@@ -1,11 +1,23 @@
-"""Deprecation shims for the pre-registry constructor signatures.
+"""Deprecation shims bridging legacy call shapes onto the current API.
 
-The approach constructors are keyword-only past the provider argument
-(so the registry can construct them uniformly), but a generation of
-callers passed ``demo_pool`` and friends positionally.
-:func:`absorb_positional` maps such legacy positional arguments onto the
-new keyword-only parameters, emitting a :class:`DeprecationWarning` so
-the old call sites keep working while announcing their retirement.
+Two generations of compatibility live here:
+
+* :func:`absorb_positional` — the approach constructors are keyword-only
+  past the provider argument (so the registry can construct them
+  uniformly), but a generation of callers passed ``demo_pool`` and
+  friends positionally; this maps such legacy positional arguments onto
+  the new keyword-only parameters.
+* :func:`coerce_request` / :func:`result_from_response` — the wire
+  contract (:mod:`repro.api.types`) replaced raw
+  :class:`~repro.eval.harness.TranslationTask` /
+  :class:`~repro.eval.harness.TranslationResult` objects at every
+  process boundary; call sites still holding the engine types keep
+  working through these converters.
+
+Every shim emits a :class:`DeprecationWarning` so the old call sites
+keep working while announcing their retirement.  The engine types
+themselves are *not* deprecated inside the pipeline — only their use on
+the wire surface is.
 """
 
 from __future__ import annotations
@@ -39,3 +51,64 @@ def absorb_positional(cls_name: str, args: tuple, pairs: tuple) -> tuple:
     )
     values = list(args) + [value for _, value in pairs[len(args):]]
     return tuple(values)
+
+
+def coerce_request(request):
+    """Accept either wire type or legacy engine task on the new surface.
+
+    :class:`~repro.api.types.TranslateRequest` passes through untouched.
+    A legacy :class:`~repro.eval.harness.TranslationTask` is converted —
+    question and ``db_id`` carry over; tenant and request id take their
+    defaults — with a :class:`DeprecationWarning`, so pre-wire call
+    sites of :func:`repro.api.translate` keep working.
+    """
+    from repro.api.types import TranslateRequest
+
+    if isinstance(request, TranslateRequest):
+        return request
+    question = getattr(request, "question", None)
+    db_id = getattr(request, "db_id", None)
+    if question is None or db_id is None:
+        raise TypeError(
+            "expected a TranslateRequest (or a legacy TranslationTask); "
+            f"got {type(request).__name__}"
+        )
+    warnings.warn(
+        "passing a TranslationTask to repro.api.translate is deprecated; "
+        "build a repro.api.types.TranslateRequest instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return TranslateRequest(question=question, db_id=db_id)
+
+
+def result_from_response(response):
+    """Convert a wire response back to the legacy engine result type.
+
+    For callers that still unpack :class:`~repro.eval.harness.TranslationResult`
+    fields; the usage record and resilience counters carry over.  Emits
+    a :class:`DeprecationWarning` — new code should read the
+    :class:`~repro.api.types.TranslateResponse` directly.
+    """
+    from repro.eval.cost import TokenUsage
+    from repro.eval.harness import TranslationResult
+
+    warnings.warn(
+        "converting TranslateResponse back to TranslationResult is "
+        "deprecated; read the wire response directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return TranslationResult(
+        sql=response.sql,
+        usage=TokenUsage(
+            prompt_tokens=response.prompt_tokens,
+            output_tokens=response.output_tokens,
+            calls=1 if (response.prompt_tokens or response.output_tokens) else 0,
+        ),
+        degradation_level=response.degradation_level,
+        retries=response.retries,
+        best_effort=response.best_effort,
+        repair_rounds=response.repair_rounds,
+        repaired=response.repaired,
+    )

@@ -17,7 +17,10 @@ Commands:
 * ``lint``      — run the registered source-convention rules over a Python
   tree (exit 1 on findings);
 * ``analyze``   — run the schema-aware SQL semantic analyzer on one query
-  (exit 1 on errors, 2 on warnings only).
+  (exit 1 on errors, 2 on warnings only);
+* ``serve``     — run the long-lived multi-tenant NL2SQL HTTP service
+  (``repro.serve``) speaking the versioned wire contract of
+  :mod:`repro.api.types` (see ``docs/serving.md``).
 
 All human-facing output goes through :mod:`repro.obs.render`, the CLI's
 single rendering boundary.
@@ -65,45 +68,34 @@ def _load(path: str) -> Dataset:
 
 
 def _make_llm(llm_name: str, cache_dir=None):
-    """The provider stack: mock LLM, optionally behind the prompt cache."""
-    from repro.llm import CachingLLM, MockLLM, PromptCache, profile_by_name
+    """The provider stack (see :func:`repro.api.runtime.make_llm`)."""
+    from repro.api.runtime import make_llm
 
-    llm = MockLLM(profile_by_name(llm_name))
-    if cache_dir is not None:
-        llm = CachingLLM(llm, cache=PromptCache(cache_dir=cache_dir))
-    return llm
+    return make_llm(llm_name, cache_dir=cache_dir)
 
 
 def _build_approach(name: str, llm, train: Dataset, budget: int,
                     consistency: int, store=None, offline_index=False,
                     repair_rounds=0, repair_token_budget=None):
-    from repro import api
-    from repro.schema import exception_text
+    """Registry construction with CLI error rendering.
 
-    extra = {}
-    if store is not None or offline_index:
-        if name != "purple":
-            raise SystemExit(
-                "--store/--offline-index apply to the purple approach only"
-            )
-        extra = {"store_path": store, "offline_index": offline_index}
-    if repair_rounds or repair_token_budget is not None:
-        if name != "purple":
-            raise SystemExit(
-                "--repair-rounds/--repair-token-budget apply to the "
-                "purple approach only"
-            )
-        extra["repair_rounds"] = repair_rounds
-        if repair_token_budget is not None:
-            extra["repair_token_budget"] = repair_token_budget
+    The assembly itself lives in :func:`repro.api.runtime.build_approach`
+    (shared with ``repro serve``); this boundary converts its typed
+    errors into the exits a terminal user expects.
+    """
+    from repro import api
+    from repro.api.runtime import RuntimeConfigError, build_approach
+    from repro.schema import exception_text
     from repro.store import StoreError
 
     try:
-        return api.create(
-            name, llm=llm, train=train, budget=budget,
-            consistency_n=consistency, **extra,
+        return build_approach(
+            name, llm, train, budget, consistency,
+            store=store, offline_index=offline_index,
+            repair_rounds=repair_rounds,
+            repair_token_budget=repair_token_budget,
         )
-    except api.UnknownApproachError as exc:
+    except (RuntimeConfigError, api.UnknownApproachError) as exc:
         raise SystemExit(exception_text(exc))
     except StoreError as exc:
         # Strict offline mode refused a missing/stale store.
@@ -112,15 +104,12 @@ def _build_approach(name: str, llm, train: Dataset, budget: int,
 
 def _make_observer(args):
     """The run observer implied by ``--trace-out`` / ``--log-level``."""
-    from repro.obs import Observer
+    from repro.api.runtime import make_observer
 
-    streaming = args.log_level != "off"
-    if args.trace_out is None and not streaming:
-        return None
-    return Observer(
-        # Collect events into the trace even when nothing streams live.
-        log_level=args.log_level if streaming else "info",
-        log_sink=render.stderr_sink if streaming else None,
+    return make_observer(
+        log_level=args.log_level,
+        trace=args.trace_out is not None,
+        sink=render.stderr_sink,
     )
 
 
@@ -130,9 +119,9 @@ def _cmd_evaluate(args) -> int:
         evaluate_approach,
         performance_summary,
     )
-    from repro.obs import write_trace
-
     from contextlib import nullcontext
+
+    from repro.api.runtime import export_trace
 
     train = _load(args.train)
     dev = _load(args.dev)
@@ -200,7 +189,7 @@ def _cmd_evaluate(args) -> int:
                 k: f"{v:.1%}" for k, v in report.by_hardness(metric).items()
             })
     if observer is not None and args.trace_out is not None:
-        lines = write_trace(
+        lines = export_trace(
             observer,
             args.trace_out,
             meta={
@@ -215,7 +204,8 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_translate(args) -> int:
-    from repro.eval import TranslationTask
+    from repro import api
+    from repro.api.types import TranslateRequest
 
     train = _load(args.train)
     dev = _load(args.dev)
@@ -229,10 +219,96 @@ def _cmd_translate(args) -> int:
                                offline_index=args.offline_index,
                                repair_rounds=args.repair_rounds,
                                repair_token_budget=args.repair_token_budget)
-    result = approach.translate(
-        TranslationTask(question=args.question, database=dev.database(args.db_id))
+    # The same wire request the HTTP service speaks (repro.api.types).
+    request = TranslateRequest(question=args.question, db_id=args.db_id)
+    response = api.translate(
+        approach, request, database=dev.database(args.db_id)
     )
-    render.out(result.sql)
+    render.out(response.sql)
+    return 0
+
+
+def _parse_tenant_specs(args) -> list:
+    """``--tenant NAME=TRAIN:DEV`` specs, defaulting to one tenant."""
+    if not args.tenant:
+        return [("default", args.train, args.dev)]
+    specs = []
+    for spec in args.tenant:
+        name, _, paths = spec.partition("=")
+        train_path, _, dev_path = paths.partition(":")
+        if not name or not train_path or not dev_path:
+            raise SystemExit(f"--tenant expects NAME=TRAIN:DEV, got {spec!r}")
+        specs.append((name, train_path, dev_path))
+    return specs
+
+
+def _cmd_serve(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.api.runtime import make_observer
+    from repro.serve import (
+        AdmissionController,
+        AdmissionPolicy,
+        NL2SQLService,
+        ReproServer,
+        Tenant,
+        TenantRegistry,
+    )
+
+    # The service always collects metrics — /v1/metrics is an endpoint,
+    # not an opt-in — so the observer exists even when nothing streams.
+    observer = make_observer(
+        log_level=args.log_level, trace=True, sink=render.stderr_sink
+    )
+    registry = TenantRegistry()
+    with observer.activate() if observer is not None else nullcontext():
+        for name, train_path, dev_path in _parse_tenant_specs(args):
+            train = _load(train_path)
+            data = _load(dev_path)
+            render.out(
+                f"tenant {name}: training {args.approach} ({args.llm}) "
+                f"on {len(train)} demos, serving {len(data.databases)} dbs"
+            )
+            translator = _build_approach(
+                args.approach, _make_llm(args.llm), train,
+                args.budget, args.consistency,
+                store=args.store, offline_index=args.offline_index,
+            )
+            registry.add(Tenant(
+                tenant_id=name, data=data, translator=translator,
+                store_path=args.store,
+            ))
+    try:
+        policy = AdmissionPolicy(
+            rate=args.rate, burst=args.burst,
+            shed_inflight=args.shed_inflight, max_inflight=args.max_inflight,
+        )
+    except ValueError as exc:
+        from repro.schema import exception_text
+
+        raise SystemExit(exception_text(exc))
+    service = NL2SQLService(
+        registry, AdmissionController(policy), observer=observer
+    )
+    if args.check:
+        render.out(
+            f"serve check ok: {len(registry)} tenant(s) "
+            f"({', '.join(registry.ids())})"
+        )
+        service.close()
+        return 0
+    server = ReproServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    render.out(f"serving {len(registry)} tenant(s) on http://{host}:{port}")
+    try:
+        # Serve on the CLI's own thread; ctrl-C stops cleanly.
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    render.out("server stopped")
     return 0
 
 
@@ -472,6 +548,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-wide cap on extra tokens the repair loop may spend",
     )
     t.set_defaults(func=_cmd_translate)
+
+    sv = sub.add_parser(
+        "serve", help="run the multi-tenant NL2SQL HTTP service"
+    )
+    sv.add_argument("--train", default="corpus/train.json")
+    sv.add_argument("--dev", default="corpus/dev.json")
+    sv.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME=TRAIN:DEV",
+        help="host a tenant from its own train/dev datasets (repeatable; "
+             "overrides --train/--dev)",
+    )
+    sv.add_argument(
+        "--approach", default="purple", choices=list(available()),
+    )
+    sv.add_argument("--llm", default="gpt4", choices=["chatgpt", "gpt4"])
+    sv.add_argument("--budget", type=int, default=3072)
+    sv.add_argument("--consistency", type=int, default=10)
+    sv.add_argument(
+        "--store", default=None,
+        help="warm-start the demonstration index from this store file "
+             "(purple only)",
+    )
+    sv.add_argument(
+        "--offline-index", action="store_true",
+        help="strict mode: error out instead of rebuilding a stale store",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8763,
+        help="0 binds an ephemeral port",
+    )
+    sv.add_argument(
+        "--rate", type=float, default=50.0,
+        help="per-tenant sustained requests/second before shedding",
+    )
+    sv.add_argument(
+        "--burst", type=int, default=25,
+        help="per-tenant burst allowance above --rate",
+    )
+    sv.add_argument(
+        "--shed-inflight", type=int, default=16,
+        help="soft cap: above this many concurrent requests, serve "
+             "demoted down the degradation ladder",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="hard cap: above this, refuse with 429",
+    )
+    sv.add_argument(
+        "--log-level", default="off",
+        choices=["debug", "info", "warning", "error", "off"],
+        help="stream structured events at or above this level to stderr",
+    )
+    sv.add_argument(
+        "--check", action="store_true",
+        help="build every tenant, print a summary, and exit without "
+             "binding the socket",
+    )
+    sv.set_defaults(func=_cmd_serve)
 
     r = sub.add_parser("report", help="render a saved JSONL run trace")
     r.add_argument("trace", help="trace file written by evaluate --trace-out")

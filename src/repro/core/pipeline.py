@@ -47,6 +47,11 @@ class Purple:
     """PURPLE: Pre-trained models Utilized to Retrieve Prompts for
     Logical Enhancement."""
 
+    #: How many rungs of the degradation ladder a caller may skip when
+    #: entering ``translate`` demoted (the serving layer's load
+    #: shedding): 2 = straight to the zero-shot rung.
+    max_demotion = 2
+
     def __init__(self, llm: LLM, config: Optional[PurpleConfig] = None):
         self.llm = llm
         self.config = config or PurpleConfig()
@@ -143,9 +148,19 @@ class Purple:
 
     # -- inference ----------------------------------------------------------------
 
-    def translate(self, task: TranslationTask) -> TranslationResult:
-        """Translate one NL question to SQL."""
+    def translate(
+        self, task: TranslationTask, *, min_rung: int = 0
+    ) -> TranslationResult:
+        """Translate one NL question to SQL.
+
+        ``min_rung`` enters the degradation ladder below the top — rung
+        1 skips the full prompt, rung 2 goes straight to zero-shot.
+        The default (0) is byte-identical to the pre-demotion pipeline;
+        the serving layer uses positive values to shed load without
+        dropping requests (docs/serving.md).
+        """
         assert self.prompt_builder is not None, "call fit() first"
+        min_rung = max(0, min(min_rung, self.max_demotion))
         cfg = self.config
         rng = derive_rng(
             cfg.seed, "purple", task.db_id, stable_hash(task.question)
@@ -165,9 +180,12 @@ class Purple:
         with stage("skeleton"):
             skeletons = self._predict_skeletons(task, schema)
 
-        # Step 3 — demonstration selection.
+        # Step 3 — demonstration selection.  A request demoted straight
+        # to the zero-shot rung never packs demonstrations, so shed
+        # requests skip the retrieval work entirely — that saved compute
+        # is the point of demotion.
         with stage("select"):
-            if cfg.use_selection and skeletons:
+            if cfg.use_selection and skeletons and min_rung < self.max_demotion:
                 demo_order = select_demonstrations(
                     self.automaton, skeletons, cfg, rng=rng
                 )
@@ -179,7 +197,7 @@ class Purple:
         # demonstration by instantiating the predicted skeleton over the
         # task's own schema.
         extra_blocks = []
-        if cfg.use_synthesis and skeletons:
+        if cfg.use_synthesis and skeletons and min_rung < self.max_demotion:
             top = skeletons[0]
             if not self.automaton.match(1, top.tokens) and not self.automaton.match(
                 2, top.tokens
@@ -200,15 +218,19 @@ class Purple:
         # fault-free run makes), then fewer demonstrations at half the
         # budget (the only fix for a truncated completion), then
         # zero-shot.  Later rungs build their prompts lazily, so the
-        # happy path is bit-identical to a ladder-free call.
-        prompt = self.prompt_builder.build(
-            task.question,
-            schema_text,
-            demo_order,
-            budget=cfg.input_budget,
-            rng=rng,
-            extra_blocks=extra_blocks,
-        )
+        # happy path is bit-identical to a ladder-free call.  A demoted
+        # request (``min_rung`` > 0) enters the same ladder below the
+        # top — skipped rungs never build their prompts at all.
+        prompt = None
+        if min_rung == 0:
+            prompt = self.prompt_builder.build(
+                task.question,
+                schema_text,
+                demo_order,
+                budget=cfg.input_budget,
+                rng=rng,
+                extra_blocks=extra_blocks,
+            )
 
         def _half_budget_request() -> LLMRequest:
             reduced = self.prompt_builder.build(
@@ -228,15 +250,15 @@ class Purple:
                 n=cfg.consistency_n,
             )
 
+        rungs = [
+            lambda: LLMRequest(prompt=prompt, n=cfg.consistency_n),
+            _half_budget_request,
+            _zero_shot_request,
+        ]
         retries_before = retries_so_far(self.llm)
         with stage("llm"):
             outcome = run_ladder(
-                self.llm,
-                [
-                    lambda: LLMRequest(prompt=prompt, n=cfg.consistency_n),
-                    _half_budget_request,
-                    _zero_shot_request,
-                ],
+                self.llm, rungs[min_rung:], first_rung=min_rung
             )
         retries = retries_so_far(self.llm) - retries_before
         if not outcome.ok:
@@ -307,6 +329,91 @@ class Purple:
             repaired=repaired,
         )
 
+    # -- capabilities (repro.api.explain / repro.api.health) -----------------------
+
+    def explain(self, task: TranslationTask, sql: Optional[str] = None) -> dict:
+        """Static diagnostics plus retrieval provenance for one task.
+
+        Runs the LLM-free front half of the pipeline — prune, skeleton
+        prediction, demonstration selection — and reports what each
+        stage decided: the pruned tables, the predicted skeletons with
+        probabilities, and the selected demonstrations with the
+        automaton level that matched them.  With ``sql`` given, the
+        schema-aware analyzer (:mod:`repro.analysis.sqlcheck`) checks it
+        against the task database and its diagnostics ride along.
+        Never calls the LLM.
+        """
+        assert self.prompt_builder is not None, "call fit() first"
+        from repro.analysis import analyze_sql
+
+        cfg = self.config
+        rng = derive_rng(
+            cfg.seed, "purple", task.db_id, stable_hash(task.question)
+        )
+        if cfg.use_pruning:
+            schema = self.pruner.prune(task.question, task.database)
+        else:
+            schema = task.database.schema
+        skeletons = self._predict_skeletons(task, schema)
+        demo_order = []
+        if cfg.use_selection and skeletons:
+            demo_order = select_demonstrations(
+                self.automaton, skeletons, cfg, rng=rng
+            )
+        # Finest automaton level (1=detail .. 4=clause) at which each
+        # selected demonstration matched any predicted skeleton — the
+        # provenance the explain endpoint exposes.
+        def _match_level(index: int):
+            for level in (1, 2, 3, 4):
+                for s in skeletons:
+                    if index in self.automaton.match(level, s.tokens):
+                        return level
+            return None
+
+        pool = self.prompt_builder.demo_pool.examples
+        demonstrations = tuple(
+            {
+                "index": int(i),
+                "db_id": pool[i].db_id,
+                "sql": pool[i].sql,
+                "skeleton": " ".join(skeleton_tokens(pool[i].sql)),
+                "level": _match_level(int(i)),
+            }
+            for i in demo_order[: cfg.top_k_skeletons * 4]
+            if 0 <= i < len(pool)
+        )
+        diagnostics = tuple(
+            d.as_dict()
+            for d in (analyze_sql(sql, task.database.schema) if sql else ())
+        )
+        return {
+            "db_id": task.db_id,
+            "pruned_tables": tuple(t.name for t in schema.tables),
+            "skeletons": tuple(
+                {
+                    "tokens": " ".join(s.tokens),
+                    "probability": round(float(s.probability), 6),
+                }
+                for s in skeletons
+            ),
+            "demonstrations": demonstrations,
+            "diagnostics": diagnostics,
+            "sql": sql or "",
+        }
+
+    def health(self) -> dict:
+        """Liveness/fitness self-report for the serving layer."""
+        fitted = self.prompt_builder is not None
+        report = {
+            "status": "ok" if fitted else "unfitted",
+            "approach": self.name,
+            "fitted": fitted,
+            "repair_rounds": self.config.repair_rounds,
+        }
+        if self.index_stats:
+            report["index"] = dict(self.index_stats)
+        return report
+
     def _predict_skeletons(self, task: TranslationTask, schema) -> list:
         oracle = self.oracle_skeletons.get((task.db_id, task.question))
         if oracle is not None:
@@ -327,7 +434,7 @@ class Purple:
         self.executor.close()
 
 
-@register("purple")
+@register("purple", capabilities=("explain", "demote"))
 def _make_purple(*, llm=None, train=None, budget=None, consistency_n=None,
                  seed=None, config=None, **overrides):
     """Build PURPLE; shared knobs map onto :class:`PurpleConfig` fields.

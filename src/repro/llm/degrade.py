@@ -41,15 +41,25 @@ class LadderOutcome:
 
 
 def run_ladder(
-    llm: LLM, rungs: Sequence[Callable[[], LLMRequest]]
+    llm: LLM,
+    rungs: Sequence[Callable[[], LLMRequest]],
+    first_rung: int = 0,
 ) -> LadderOutcome:
     """Try each rung in order until one completes.
 
     Only :class:`LLMError` moves the ladder down a rung — anything else
     is a bug and propagates.
+
+    ``first_rung`` names the absolute ladder position of ``rungs[0]``
+    when a caller enters the ladder below the top — the serving layer's
+    load shedding demotes overloaded requests this way (it passes the
+    cheaper tail of the ladder plus its offset).  Reported levels,
+    rung labels, and the outcome's ``level`` are all absolute, so a
+    demoted request is indistinguishable in telemetry from one that
+    degraded to the same rung under faults.
     """
     events: list = []
-    for level, make_request in enumerate(rungs):
+    for level, make_request in enumerate(rungs, start=first_rung):
         with obs.span("llm.rung", rung=level) as rung_span:
             try:
                 response = llm.complete(make_request())
@@ -69,10 +79,11 @@ def run_ladder(
         if level > 0:
             obs.event("degrade.answered_below_full", rung=level)
         return LadderOutcome(response=response, level=level, events=tuple(events))
-    obs.count("degrade.level", level=len(rungs))
+    exhausted = first_rung + len(rungs)
+    obs.count("degrade.level", level=exhausted)
     obs.count("degrade.exhausted")
     obs.event("degrade.exhausted", level="error", rungs=len(rungs))
-    return LadderOutcome(response=None, level=len(rungs), events=tuple(events))
+    return LadderOutcome(response=None, level=exhausted, events=tuple(events))
 
 
 def retries_so_far(llm: LLM) -> int:

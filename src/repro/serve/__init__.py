@@ -1,0 +1,44 @@
+"""``repro.serve`` — the long-lived multi-tenant NL2SQL service.
+
+The batch harness answers "how accurate is PURPLE"; this package answers
+"can it hold a port": a stdlib-only HTTP service
+(:class:`~repro.serve.http.ReproServer`) over a transport-independent
+core (:class:`~repro.serve.service.NL2SQLService`) with per-tenant
+isolation (:mod:`repro.serve.tenants`) and admission control that sheds
+load down the degradation ladder instead of dropping requests
+(:mod:`repro.serve.admission`).  Start it with ``repro serve``; the wire
+contract is :mod:`repro.api.types`; the design doc is
+``docs/serving.md``.
+"""
+
+from repro.serve.admission import (
+    ADMIT,
+    REJECT,
+    SHED,
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.serve.http import ReproServer
+from repro.serve.service import NL2SQLService
+from repro.serve.tenants import (
+    Tenant,
+    TenantRegistry,
+    UnknownDatabaseError,
+    UnknownTenantError,
+)
+
+__all__ = [
+    "ADMIT",
+    "REJECT",
+    "SHED",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "NL2SQLService",
+    "ReproServer",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "UnknownDatabaseError",
+    "UnknownTenantError",
+]

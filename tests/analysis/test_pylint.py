@@ -201,6 +201,51 @@ class TestNoRawExcStr:
         assert engine.run() == []
 
 
+class TestNoBlockingInHandler:
+    RULE = "py.no-blocking-in-handler"
+
+    def run_scoped(self, tmp_path, source, subdir="repro/serve"):
+        root = tmp_path / "repro"
+        target = tmp_path / subdir
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "mod.py").write_text(source)
+        engine = LintEngine(root=root, rules={self.RULE: REGISTRY[self.RULE]})
+        return engine.run()
+
+    def test_sleep_and_unbounded_join_flagged(self, tmp_path):
+        source = (
+            "import time\n"
+            "def handler(thread):\n"
+            "    time.sleep(0.1)\n"
+            "    thread.join()\n"
+        )
+        findings = self.run_scoped(tmp_path, source)
+        assert [(d.rule, d.span.line) for d in findings] == [
+            (self.RULE, 3), (self.RULE, 4),
+        ]
+
+    def test_bounded_join_and_str_join_unflagged(self, tmp_path):
+        source = (
+            "def handler(thread, parts):\n"
+            "    thread.join(timeout=5.0)\n"
+            "    return ', '.join(parts)\n"
+        )
+        assert self.run_scoped(tmp_path, source) == []
+
+    def test_scoped_to_serving_package(self, tmp_path):
+        source = "import time\ndef f():\n    time.sleep(1)\n"
+        assert self.run_scoped(tmp_path, source, subdir="repro/eval") == []
+        assert len(self.run_scoped(tmp_path, source)) == 1
+
+    def test_waivable_per_line(self, tmp_path):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    time.sleep(1)  # noqa: no-blocking-in-handler\n"
+        )
+        assert self.run_scoped(tmp_path, source) == []
+
+
 class TestSelfClean:
     def test_package_tree_is_clean(self):
         findings = lint_tree()

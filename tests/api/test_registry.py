@@ -129,4 +129,9 @@ class TestTranslatorProtocol:
             "available",
             "create",
             "register",
+            "CapabilityError",
+            "capabilities",
+            "explain",
+            "health",
+            "translate",
         ]

@@ -1,0 +1,160 @@
+"""Multi-tenant isolation: no cross-talk in data, results, or metrics."""
+
+import pytest
+
+from repro.api.types import TranslateRequest
+from repro.obs import Observer
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    NL2SQLService,
+    Tenant,
+    TenantRegistry,
+    UnknownDatabaseError,
+    UnknownTenantError,
+)
+from tests.serve.conftest import make_translator
+
+
+@pytest.fixture(scope="module")
+def two_tenant_service(small_benchmark):
+    """Two tenants with disjoint database sets from one corpus.
+
+    ``north`` serves the first half of the dev databases, ``south`` the
+    second half; each has its own fitted translator instance.
+    """
+    from repro.spider import Dataset
+
+    def db_slice(dev, ids):
+        return Dataset(
+            name=f"{dev.name}[{'+'.join(ids)}]",
+            examples=[ex for ex in dev.examples if ex.db_id in ids],
+            databases={k: v for k, v in dev.databases.items() if k in ids},
+        )
+
+    dev = small_benchmark.dev
+    ids = dev.db_ids()
+    half = len(ids) // 2
+    north_data = db_slice(dev, ids[:half])
+    south_data = db_slice(dev, ids[half:])
+    registry = TenantRegistry()
+    registry.add(Tenant(
+        tenant_id="north", data=north_data,
+        translator=make_translator(small_benchmark.train),
+    ))
+    registry.add(Tenant(
+        tenant_id="south", data=south_data,
+        translator=make_translator(small_benchmark.train),
+    ))
+    service = NL2SQLService(
+        registry,
+        AdmissionController(AdmissionPolicy(rate=1000.0, burst=1000)),
+        observer=Observer(seed=0, log_level="info"),
+    )
+    yield service
+    service.close()
+
+
+class TestRegistry:
+    def test_duplicate_tenant_is_a_config_error(self, dev_set, translator):
+        registry = TenantRegistry()
+        registry.add(Tenant("a", dev_set, translator))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add(Tenant("a", dev_set, translator))
+
+    def test_unknown_tenant_typed(self):
+        with pytest.raises(UnknownTenantError, match="nobody"):
+            TenantRegistry().get("nobody")
+
+    def test_unknown_database_typed(self, dev_set, translator):
+        tenant = Tenant("a", dev_set, translator)
+        with pytest.raises(UnknownDatabaseError, match="no_such"):
+            tenant.database("no_such")
+
+
+class TestIsolation:
+    def test_tenants_cannot_reach_each_others_databases(
+        self, two_tenant_service
+    ):
+        service = two_tenant_service
+        north_db = service.registry.get("north").db_ids()[0]
+        south_db = service.registry.get("south").db_ids()[0]
+        # north asking for a south database is a 404, and vice versa.
+        status, envelope = service.translate(TranslateRequest(
+            question="how many", db_id=south_db, tenant="north",
+        ))
+        assert status == 404 and envelope.code == "unknown_database"
+        status, envelope = service.translate(TranslateRequest(
+            question="how many", db_id=north_db, tenant="south",
+        ))
+        assert status == 404 and envelope.code == "unknown_database"
+
+    def test_both_tenants_translate_their_own_data(self, two_tenant_service,
+                                                   small_benchmark):
+        service = two_tenant_service
+        for tenant_id in ("north", "south"):
+            tenant = service.registry.get(tenant_id)
+            db_id = tenant.db_ids()[0]
+            example = next(
+                ex for ex in small_benchmark.dev.examples
+                if ex.db_id == db_id
+            )
+            status, response = service.translate(TranslateRequest(
+                question=example.question, db_id=db_id, tenant=tenant_id,
+            ))
+            assert status == 200
+            assert response.tenant == tenant_id
+            assert response.sql.upper().startswith("SELECT")
+
+    def test_request_id_sequences_are_per_tenant(self, two_tenant_service,
+                                                 small_benchmark):
+        service = two_tenant_service
+        responses = {}
+        for tenant_id in ("north", "south"):
+            tenant = service.registry.get(tenant_id)
+            db_id = tenant.db_ids()[0]
+            example = next(
+                ex for ex in small_benchmark.dev.examples
+                if ex.db_id == db_id
+            )
+            _, response = service.translate(TranslateRequest(
+                question=example.question, db_id=db_id, tenant=tenant_id,
+            ))
+            responses[tenant_id] = response
+        assert responses["north"].request_id.startswith("north-")
+        assert responses["south"].request_id.startswith("south-")
+
+    def test_metrics_labelled_per_tenant_with_no_cross_talk(
+        self, two_tenant_service
+    ):
+        service = two_tenant_service
+        _, payload = service.metrics()
+        counters = payload["metrics"]["counters"]
+        north = {k: v for k, v in counters.items() if "tenant=north" in k}
+        south = {k: v for k, v in counters.items() if "tenant=south" in k}
+        assert north and south
+        # Every tenant-labelled serve.* counter names exactly one tenant.
+        for key in counters:
+            if key.startswith("serve.") and "tenant=" in key:
+                assert ("tenant=north" in key) != ("tenant=south" in key)
+
+    def test_executor_keys_are_tenant_scoped(self, two_tenant_service):
+        from repro.api.types import ExecuteRequest
+
+        service = two_tenant_service
+        for tenant_id in ("north", "south"):
+            tenant = service.registry.get(tenant_id)
+            db_id = tenant.db_ids()[0]
+            table = tenant.database(db_id).schema.tables[0].name
+            status, response = service.execute(ExecuteRequest(
+                sql=f"SELECT COUNT(*) FROM {table}", db_id=db_id,
+                tenant=tenant_id,
+            ))
+            assert status == 200 and response.error is None
+            assert service.executor.has(f"{tenant_id}/{db_id}")
+
+    def test_separate_translator_instances(self, two_tenant_service):
+        service = two_tenant_service
+        north = service.registry.get("north").translator
+        south = service.registry.get("south").translator
+        assert north is not south

@@ -71,6 +71,11 @@ class TestPublicExportList:
             "available",
             "create",
             "register",
+            "CapabilityError",
+            "capabilities",
+            "explain",
+            "health",
+            "translate",
         ]
         for name in api.__all__:
             assert hasattr(api, name)

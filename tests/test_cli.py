@@ -445,3 +445,51 @@ class TestTranslate:
                     "--dev", str(corpus_dir / "dev.json"),
                 ]
             )
+
+
+class TestServe:
+    def test_check_builds_tenants_without_binding(self, corpus_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--train", str(corpus_dir / "train.json"),
+                "--dev", str(corpus_dir / "dev.json"),
+                "--consistency", "2",
+                "--check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve check ok: 1 tenant(s) (default)" in out
+
+    def test_check_multi_tenant(self, corpus_dir, capsys):
+        train = str(corpus_dir / "train.json")
+        dev = str(corpus_dir / "dev.json")
+        code = main(
+            [
+                "serve",
+                "--tenant", f"acme={train}:{dev}",
+                "--tenant", f"globex={train}:{dev}",
+                "--consistency", "2",
+                "--check",
+            ]
+        )
+        assert code == 0
+        assert "2 tenant(s) (acme, globex)" in capsys.readouterr().out
+
+    def test_malformed_tenant_spec_rejected(self, corpus_dir):
+        with pytest.raises(SystemExit, match="NAME=TRAIN:DEV"):
+            main(["serve", "--tenant", "acme", "--check"])
+
+    def test_store_flag_rejected_for_other_approaches(self, corpus_dir):
+        with pytest.raises(SystemExit, match="purple approach only"):
+            main(
+                [
+                    "serve",
+                    "--train", str(corpus_dir / "train.json"),
+                    "--dev", str(corpus_dir / "dev.json"),
+                    "--approach", "zero",
+                    "--store", "anything.demostore",
+                    "--check",
+                ]
+            )
