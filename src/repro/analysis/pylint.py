@@ -21,6 +21,7 @@ bare suffix (``broad-except``, the historical marker) are accepted.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional
@@ -354,6 +355,84 @@ def _no_blocking_in_handler(ctx: FileContext):
             yield node, "unbounded .join() in the serving layer", {
                 "replace_with": ".join(timeout=...) with a bounded wait",
             }
+
+
+#: Legal metric name: lowercase dot-namespaced, ``subsystem.name`` with
+#: at least one dot (``serve.latency_ms``, ``llm.breaker.transitions``).
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+_METRIC_METHODS = frozenset({"count", "gauge", "observe"})
+
+#: Receivers (final attribute segment) treated as metrics surfaces.
+#: ``obs`` is the conventional ``repro.obs.runtime`` alias, ``metrics``
+#: a registry, ``windows`` a WindowedMetrics — this keeps unrelated
+#: methods like ``str.count`` / ``list.count`` out of scope.
+_METRIC_RECEIVERS = frozenset({"obs", "metrics", "windows"})
+
+
+def _is_metric_call(node: ast.Call, bare_helpers: frozenset) -> bool:
+    if isinstance(node.func, ast.Name):
+        return node.func.id in bare_helpers
+    if isinstance(node.func, ast.Attribute):
+        if node.func.attr not in _METRIC_METHODS:
+            return False
+        dotted = _dotted_name(node.func.value)
+        return (
+            dotted is not None
+            and dotted.split(".")[-1] in _METRIC_RECEIVERS
+        )
+    return False
+
+
+def _obs_helper_imports(tree: ast.AST) -> frozenset:
+    """Names bound in this file by ``from repro.obs[...] import count/...``."""
+    names = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module
+            and node.module.startswith("repro.obs")
+        ):
+            for alias in node.names:
+                if alias.name in _METRIC_METHODS:
+                    names.add(alias.asname or alias.name)
+    return frozenset(names)
+
+
+@rule(
+    "py.metric-name-convention",
+    "metric names passed to count/gauge/observe must be dot-namespaced "
+    "string literals (subsystem.name) so dashboards, the Prometheus "
+    "exposition, and repro report can group them without a schema",
+    allowed=(
+        # The runtime facade forwards caller-supplied names verbatim.
+        "repro/obs/runtime.py",
+    ),
+)
+def _metric_name_convention(ctx: FileContext):
+    bare_helpers = _obs_helper_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_metric_call(node, bare_helpers):
+            continue
+        if not node.args:
+            yield node, (
+                "metric call without a positional name argument"
+            ), {"replace_with": 'a literal "subsystem.name" first argument'}
+            continue
+        name_arg = node.args[0]
+        if not (isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)):
+            yield name_arg, (
+                "metric name must be a string literal, not an expression"
+            ), {"replace_with": 'a literal "subsystem.name" first argument'}
+            continue
+        if not _METRIC_NAME.match(name_arg.value):
+            yield name_arg, (
+                f"metric name {name_arg.value!r} is not dot-namespaced "
+                "(expected lowercase subsystem.name)"
+            ), {"replace_with": 'a "subsystem.name" style metric name'}
 
 
 @rule(

@@ -127,6 +127,7 @@ class TranslateResponse(_WireMixin):
     db_id: str = ""
     prompt_tokens: int = 0
     output_tokens: int = 0
+    llm_calls: int = 0
     degradation_level: int = 0
     retries: int = 0
     best_effort: bool = False
@@ -259,6 +260,7 @@ def response_from_result(
         db_id=request.db_id,
         prompt_tokens=usage.prompt_tokens,
         output_tokens=usage.output_tokens,
+        llm_calls=usage.calls,
         degradation_level=result.degradation_level,
         retries=result.retries,
         best_effort=result.best_effort,

@@ -20,7 +20,10 @@ Commands:
   (exit 1 on errors, 2 on warnings only);
 * ``serve``     — run the long-lived multi-tenant NL2SQL HTTP service
   (``repro.serve``) speaking the versioned wire contract of
-  :mod:`repro.api.types` (see ``docs/serving.md``).
+  :mod:`repro.api.types` (see ``docs/serving.md``);
+* ``top``       — live one-screen dashboard (qps, p50/p95/p99, tenants,
+  SLO burn, rungs) over a running server's ``/v1/metrics`` and
+  ``/v1/status`` (see ``docs/observability.md``).
 
 All human-facing output goes through :mod:`repro.obs.render`, the CLI's
 single rendering boundary.
@@ -245,7 +248,7 @@ def _parse_tenant_specs(args) -> list:
 def _cmd_serve(args) -> int:
     from contextlib import nullcontext
 
-    from repro.api.runtime import make_observer
+    from repro.api.runtime import make_live, make_observer
     from repro.serve import (
         AdmissionController,
         AdmissionPolicy,
@@ -287,8 +290,19 @@ def _cmd_serve(args) -> int:
         from repro.schema import exception_text
 
         raise SystemExit(exception_text(exc))
+    # Continuous telemetry rides on the service observer; a long-lived
+    # process prunes captured lanes so span memory stays bounded.
+    live = make_live(
+        observer,
+        window_s=args.window,
+        trace_capacity=args.trace_capacity,
+        slow_ms=args.slow_ms,
+        availability=args.slo_availability,
+        latency_target_ms=args.slo_latency_ms,
+        prune_lanes=True,
+    )
     service = NL2SQLService(
-        registry, AdmissionController(policy), observer=observer
+        registry, AdmissionController(policy), observer=observer, live=live
     )
     if args.check:
         render.out(
@@ -310,6 +324,12 @@ def _cmd_serve(args) -> int:
         service.close()
     render.out("server stopped")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(args.url, interval=args.interval, once=args.once)
 
 
 def _cmd_report(args) -> int:
@@ -602,11 +622,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured events at or above this level to stderr",
     )
     sv.add_argument(
+        "--window", type=float, default=60.0,
+        help="trailing window (seconds) for /v1/metrics live rates and "
+             "latency quantiles",
+    )
+    sv.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="retained request traces in the live trace store",
+    )
+    sv.add_argument(
+        "--slow-ms", type=float, default=1000.0,
+        help="latency (ms) above which a request's trace is always "
+             "retained by tail sampling",
+    )
+    sv.add_argument(
+        "--slo-availability", type=float, default=0.999,
+        help="availability SLO target tracked at /v1/status",
+    )
+    sv.add_argument(
+        "--slo-latency-ms", type=float, default=2000.0,
+        help="latency SLO threshold (ms) tracked at /v1/status",
+    )
+    sv.add_argument(
         "--check", action="store_true",
         help="build every tenant, print a summary, and exit without "
              "binding the socket",
     )
     sv.set_defaults(func=_cmd_serve)
+
+    tp = sub.add_parser(
+        "top", help="live dashboard over a running server's telemetry"
+    )
+    tp.add_argument(
+        "--url", default="http://127.0.0.1:8763",
+        help="base URL of a running repro serve instance",
+    )
+    tp.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between dashboard refreshes",
+    )
+    tp.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    tp.set_defaults(func=_cmd_top)
 
     r = sub.add_parser("report", help="render a saved JSONL run trace")
     r.add_argument("trace", help="trace file written by evaluate --trace-out")

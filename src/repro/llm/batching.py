@@ -81,8 +81,10 @@ class CoalescingLLM:
                 self._merged += 1
                 leader = False
         obs.count("coalesce.requests")
-        obs.count("coalesce.leads" if leader else "coalesce.merged")
-        if not leader:
+        if leader:
+            obs.count("coalesce.leads")
+        else:
+            obs.count("coalesce.merged")
             obs.event("coalesce.merged", key=key)
         if leader:
             try:

@@ -12,13 +12,26 @@ with labels sorted by key — so snapshots are deterministic and the
 
 Histograms keep a bounded summary (count / total / min / max), not the
 raw samples: the high-cardinality timing data lives in spans, while
-histograms cover low-volume distributions like backoff waits.
+histograms cover low-volume distributions like backoff waits.  A
+summary constructed with fixed ``bounds`` additionally keeps one count
+per bucket, which is enough to estimate quantiles (p50/p95/p99) without
+retaining samples — the continuous serving telemetry
+(:mod:`repro.obs.windows`) builds on that.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from threading import Lock
+
+#: Default latency bucket upper bounds (milliseconds) for quantile
+#: estimation on serving-path histograms.  Geometric-ish spacing from
+#: sub-millisecond to ten seconds, the span a served request can take.
+LATENCY_BUCKET_BOUNDS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 def metric_key(name: str, labels: dict) -> str:
@@ -44,12 +57,30 @@ def parse_metric_key(key: str) -> tuple:
 
 @dataclass
 class HistogramSummary:
-    """Bounded summary of one observed distribution."""
+    """Bounded summary of one observed distribution.
+
+    Without ``bounds`` this is the original count/total/min/max record.
+    With ``bounds`` (ascending bucket upper bounds) it also keeps
+    ``len(bounds) + 1`` bucket counts (the last is the overflow bucket)
+    and can estimate quantiles by linear interpolation inside the
+    bucket holding the target rank.  ``as_dict`` stays backward
+    compatible: the four original keys are always present, and the
+    bucket/quantile keys appear only when bounds were configured.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = 0.0
     max: float = 0.0
+    bounds: tuple = ()
+    buckets: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.bounds = tuple(self.bounds)
+        if self.bounds and list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        if self.bounds and not self.buckets:
+            self.buckets = [0] * (len(self.bounds) + 1)
 
     def add(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -60,19 +91,78 @@ class HistogramSummary:
             self.max = max(self.max, value)
         self.count += 1
         self.total += value
+        if self.bounds:
+            self.buckets[bisect_left(self.bounds, value)] += 1
+
+    def merge(self, other: "HistogramSummary") -> None:
+        """Fold another summary into this one (bounds must match)."""
+        if other.count == 0:
+            return
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        if self.bounds:
+            self.buckets = [
+                a + b for a, b in zip(self.buckets, other.buckets)
+            ]
 
     @property
     def mean(self) -> float:
         """Average observed value (0.0 before the first observation)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float):
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped to the observed ``[min, max]``; the overflow bucket
+        interpolates toward the observed max.  Returns ``None`` when the
+        summary has no bounds (nothing to estimate from) and 0.0 before
+        the first observation.
+        """
+        if not self.bounds:
+            return None
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0.0
+        for i, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.max
+                )
+                position = max(0.0, rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * position
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "count": self.count,
             "total": round(self.total, 6),
             "min": round(self.min, 6),
             "max": round(self.max, 6),
         }
+        if self.bounds:
+            out["bounds"] = list(self.bounds)
+            out["buckets"] = list(self.buckets)
+            out["p50"] = round(self.quantile(0.50), 6)
+            out["p95"] = round(self.quantile(0.95), 6)
+            out["p99"] = round(self.quantile(0.99), 6)
+        return out
 
 
 @dataclass(frozen=True)
@@ -154,7 +244,8 @@ class MetricsRegistry:
                 gauges=dict(self._gauges),
                 histograms={
                     key: HistogramSummary(
-                        count=h.count, total=h.total, min=h.min, max=h.max
+                        count=h.count, total=h.total, min=h.min, max=h.max,
+                        bounds=h.bounds, buckets=list(h.buckets),
                     )
                     for key, h in self._histograms.items()
                 },

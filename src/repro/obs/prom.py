@@ -1,0 +1,222 @@
+"""Prometheus text exposition for the metrics registry.
+
+``GET /v1/metrics`` speaks JSON by default; a scraper sending
+``Accept: text/plain`` gets the same truth in the Prometheus text
+format (v0.0.4) rendered here.  The repo's dot-namespaced metric names
+(``serve.latency_ms``) become underscore names (``serve_latency_ms``);
+label values are escaped per the exposition rules (backslash, double
+quote, newline).  Histograms with fixed bounds render as real
+Prometheus histograms — cumulative ``_bucket{le=...}`` series plus
+``_sum``/``_count`` — so quantiles can also be recomputed server-side.
+
+:func:`parse_prometheus_text` inverts the rendering (for the round-trip
+tests and ``repro top``); it understands exactly the subset this module
+emits.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A repo metric name as a legal Prometheus metric name."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value`."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_labels(labels: dict) -> str:
+    """``{k="v",...}`` with sorted keys, empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Writer:
+    """Accumulates exposition lines, emitting each TYPE header once."""
+
+    def __init__(self):
+        self.lines = []
+        self._typed = set()
+
+    def sample(self, family: str, family_type: str, name: str,
+               labels: dict, value) -> None:
+        if family not in self._typed:
+            self._typed.add(family)
+            self.lines.append(f"# TYPE {family} {family_type}")
+        self.lines.append(
+            f"{name}{format_labels(labels)} {_format_value(value)}"
+        )
+
+
+def _emit_histogram(writer: _Writer, family: str, hist: dict,
+                    extra_labels: Optional[dict] = None) -> None:
+    labels = dict(extra_labels or {})
+    bounds = hist.get("bounds") or []
+    buckets = hist.get("buckets") or []
+    if bounds and buckets:
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, buckets):
+            cumulative += bucket_count
+            writer.sample(family, "histogram", family + "_bucket",
+                          dict(labels, le=repr(float(bound))), cumulative)
+        writer.sample(family, "histogram", family + "_bucket",
+                      dict(labels, le="+Inf"), hist["count"])
+    writer.sample(family, "histogram", family + "_sum", labels,
+                  hist["total"])
+    writer.sample(family, "histogram", family + "_count", labels,
+                  hist["count"])
+
+
+def prometheus_text(snapshot, live: Optional[dict] = None) -> str:
+    """Render a :class:`MetricsSnapshot` (and optional live payload).
+
+    ``snapshot`` is the cumulative registry snapshot; ``live`` is a
+    :meth:`~repro.obs.live.LiveTelemetry.payload` dict, whose windowed
+    counters render as ``<name>_window_total`` / ``_window_rate``
+    gauges and windowed histograms as ``<name>_window`` histograms, all
+    labelled with ``window_s``.
+    """
+    from repro.obs.metrics import parse_metric_key
+
+    writer = _Writer()
+    data = snapshot.as_dict()
+    for key, value in data["counters"].items():
+        name, labels = parse_metric_key(key)
+        family = sanitize_metric_name(name) + "_total"
+        writer.sample(family, "counter", family, labels, value)
+    for key, value in data["gauges"].items():
+        name, labels = parse_metric_key(key)
+        family = sanitize_metric_name(name)
+        writer.sample(family, "gauge", family, labels, value)
+    for key, hist in data["histograms"].items():
+        name, labels = parse_metric_key(key)
+        _emit_histogram(writer, sanitize_metric_name(name), hist, labels)
+    if live:
+        windows = live.get("windows", {})
+        window_labels = {"window_s": repr(float(windows.get("window_s", 0)))}
+        for key, stats in windows.get("counters", {}).items():
+            name, labels = parse_metric_key(key)
+            family = sanitize_metric_name(name) + "_window"
+            writer.sample(family + "_total", "gauge", family + "_total",
+                          dict(labels, **window_labels), stats["total"])
+            writer.sample(family + "_rate", "gauge", family + "_rate",
+                          dict(labels, **window_labels), stats["rate"])
+        for key, hist in windows.get("histograms", {}).items():
+            name, labels = parse_metric_key(key)
+            family = sanitize_metric_name(name) + "_window"
+            _emit_histogram(writer, family, hist,
+                            dict(labels, **window_labels))
+    return "\n".join(writer.lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def _parse_labels(raw: str) -> dict:
+    """Parse the inside of a ``{...}`` label block, honouring escapes."""
+    labels = {}
+    i = 0
+    n = len(raw)
+    while i < n:
+        eq = raw.index("=", i)
+        key = raw[i:eq].strip()
+        if raw[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {raw[eq:]!r}")
+        j = eq + 2
+        chunk = []
+        while raw[j] != '"':
+            if raw[j] == "\\":
+                chunk.append(raw[j:j + 2])
+                j += 2
+            else:
+                chunk.append(raw[j])
+                j += 1
+        labels[key] = unescape_label_value("".join(chunk))
+        i = j + 1
+        if i < n and raw[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse an exposition into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps family name to declared type; ``samples`` is a list
+    of ``(name, labels_dict, value_float)`` in document order.  Only
+    the subset :func:`prometheus_text` emits is supported.
+    """
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, family_type = rest.partition(" ")
+            types[family] = family_type
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels_raw = match.group("labels")
+        samples.append((
+            match.group("name"),
+            _parse_labels(labels_raw) if labels_raw else {},
+            float(match.group("value")),
+        ))
+    return {"types": types, "samples": samples}

@@ -136,6 +136,29 @@ class Tracer:
         with self._lock:
             return sorted(self._spans, key=lambda s: (s.lane, s.seq))
 
+    def lane_spans(self, lane: str) -> list:
+        """One lane's finished spans in ``seq`` order."""
+        with self._lock:
+            return sorted(
+                (s for s in self._spans if s.lane == lane),
+                key=lambda s: s.seq,
+            )
+
+    def prune_lane(self, lane: str) -> int:
+        """Forget one lane's finished spans and its sequence counter.
+
+        A long-lived server captures each request's tree into its trace
+        store and then releases the tracer's copy; dropping the lane's
+        seq counter too means a replayed request id re-derives the very
+        same span ids (ids hash ``(seed, lane, seq)``).  Returns the
+        number of spans removed.
+        """
+        with self._lock:
+            before = len(self._spans)
+            self._spans = [s for s in self._spans if s.lane != lane]
+            self._lane_seq.pop(lane, None)
+            return before - len(self._spans)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)

@@ -1,0 +1,225 @@
+"""Sliding-window metrics: trailing-window rates and latency quantiles.
+
+The cumulative :class:`~repro.obs.metrics.MetricsRegistry` answers
+"since boot"; this module answers "right now".  Each primitive is a
+ring of per-interval slots covering the trailing window — a counter
+slot is one float, a histogram slot is one bucketed
+:class:`~repro.obs.metrics.HistogramSummary` — lazily invalidated
+against an injectable monotonic clock (the same
+:class:`~repro.llm.resilient.Clock` surface the admission controller
+uses), so rotation needs no background thread and tests drive it
+deterministically with :class:`~repro.llm.resilient.FakeClock`.
+
+Staleness is tracked per slot by the absolute interval index it last
+held: a writer landing on a recycled slot resets it first, so a window
+that saw no traffic for a full rotation reads zero without anyone
+having swept it.  Observations age out at slot granularity — the
+window is "the last ``window_s`` seconds, rounded down to the current
+``resolution_s`` interval".
+
+:class:`WindowedMetrics` keys counters and histograms by the same
+canonical ``name{labels}`` strings as the cumulative registry, so the
+``/v1/metrics`` payload and ``repro top`` parse both sides with one
+:func:`~repro.obs.metrics.parse_metric_key`.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Optional
+
+from repro.llm.resilient import Clock, SystemClock
+from repro.obs.metrics import (
+    LATENCY_BUCKET_BOUNDS_MS,
+    HistogramSummary,
+    metric_key,
+)
+
+
+def _slot_count(window_s: float, resolution_s: float) -> int:
+    if window_s <= 0 or resolution_s <= 0:
+        raise ValueError("window_s and resolution_s must be positive")
+    slots = round(window_s / resolution_s)
+    if slots < 1:
+        raise ValueError("resolution_s must divide the window into "
+                         ">= 1 slots")
+    return int(slots)
+
+
+class WindowedCounter:
+    """A rate counter over the trailing ``window_s`` seconds."""
+
+    def __init__(self, window_s: float = 60.0, resolution_s: float = 1.0,
+                 clock: Optional[Clock] = None):
+        self.window_s = float(window_s)
+        self.resolution_s = float(resolution_s)
+        self.clock = clock or SystemClock()
+        slots = _slot_count(window_s, resolution_s)
+        self._values = [0.0] * slots
+        #: Absolute interval index each slot last belonged to; -1 = never.
+        self._marks = [-1] * slots
+        self._lock = Lock()
+
+    def _interval(self) -> int:
+        return int(self.clock.monotonic() // self.resolution_s)
+
+    def add(self, value: float = 1.0) -> None:
+        """Fold ``value`` into the current interval's slot."""
+        with self._lock:
+            interval = self._interval()
+            index = interval % len(self._values)
+            if self._marks[index] != interval:
+                self._marks[index] = interval
+                self._values[index] = 0.0
+            self._values[index] += value
+
+    def total(self) -> float:
+        """Sum of observations still inside the window."""
+        with self._lock:
+            interval = self._interval()
+            horizon = interval - len(self._values)
+            return sum(
+                value
+                for mark, value in zip(self._marks, self._values)
+                if horizon < mark <= interval
+            )
+
+    def rate(self) -> float:
+        """Observations per second over the window."""
+        return self.total() / self.window_s
+
+
+class WindowedHistogram:
+    """A bucketed latency histogram over the trailing window.
+
+    Each slot is one :class:`HistogramSummary` with the same fixed
+    bounds; :meth:`summary` merges the live slots into a single summary
+    whose ``quantile`` gives streaming p50/p95/p99 for the window.
+    """
+
+    def __init__(self, bounds: tuple = LATENCY_BUCKET_BOUNDS_MS,
+                 window_s: float = 60.0, resolution_s: float = 1.0,
+                 clock: Optional[Clock] = None):
+        self.bounds = tuple(bounds)
+        self.window_s = float(window_s)
+        self.resolution_s = float(resolution_s)
+        self.clock = clock or SystemClock()
+        slots = _slot_count(window_s, resolution_s)
+        self._summaries = [
+            HistogramSummary(bounds=self.bounds) for _ in range(slots)
+        ]
+        self._marks = [-1] * slots
+        self._lock = Lock()
+
+    def _interval(self) -> int:
+        return int(self.clock.monotonic() // self.resolution_s)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the current interval's slot."""
+        with self._lock:
+            interval = self._interval()
+            index = interval % len(self._summaries)
+            if self._marks[index] != interval:
+                self._marks[index] = interval
+                self._summaries[index] = HistogramSummary(bounds=self.bounds)
+            self._summaries[index].add(value)
+
+    def summary(self) -> HistogramSummary:
+        """One merged summary of every observation still in the window."""
+        merged = HistogramSummary(bounds=self.bounds)
+        with self._lock:
+            interval = self._interval()
+            horizon = interval - len(self._summaries)
+            for mark, slot in zip(self._marks, self._summaries):
+                if horizon < mark <= interval:
+                    merged.merge(slot)
+        return merged
+
+
+class WindowedMetrics:
+    """The sliding-window twin of the cumulative metrics registry.
+
+    Counters and histograms are keyed by the canonical ``name{labels}``
+    strings of :func:`~repro.obs.metrics.metric_key`; every key gets its
+    own ring sharing this registry's window, resolution, bounds, and
+    clock.  ``snapshot`` is JSON-ready and deterministically ordered.
+    """
+
+    def __init__(self, window_s: float = 60.0, resolution_s: float = 1.0,
+                 bounds: tuple = LATENCY_BUCKET_BOUNDS_MS,
+                 clock: Optional[Clock] = None):
+        _slot_count(window_s, resolution_s)  # validate early
+        self.window_s = float(window_s)
+        self.resolution_s = float(resolution_s)
+        self.bounds = tuple(bounds)
+        self.clock = clock or SystemClock()
+        self._counters: dict = {}
+        self._histograms: dict = {}
+        self._lock = Lock()
+
+    def _counter(self, key: str) -> WindowedCounter:
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = WindowedCounter(
+                    self.window_s, self.resolution_s, clock=self.clock
+                )
+            return counter
+
+    def _histogram(self, key: str) -> WindowedHistogram:
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = WindowedHistogram(
+                    self.bounds, self.window_s, self.resolution_s,
+                    clock=self.clock,
+                )
+            return histogram
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a windowed rate counter."""
+        self._counter(metric_key(name, labels)).add(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Fold one observation into a windowed histogram."""
+        self._histogram(metric_key(name, labels)).observe(value)
+
+    def counter_total(self, name: str, **labels) -> float:
+        """One windowed counter's in-window total (0.0 when unseen)."""
+        with self._lock:
+            counter = self._counters.get(metric_key(name, labels))
+        return counter.total() if counter is not None else 0.0
+
+    def histogram(self, name: str, **labels) -> HistogramSummary:
+        """The merged in-window summary for one histogram key."""
+        with self._lock:
+            histogram = self._histograms.get(metric_key(name, labels))
+        if histogram is None:
+            return HistogramSummary(bounds=self.bounds)
+        return histogram.summary()
+
+    def snapshot(self) -> dict:
+        """JSON-ready windowed truth, deterministically ordered.
+
+        Counters report ``{"total", "rate"}`` over the window;
+        histograms report the full bucketed summary (count / total /
+        min / max / bounds / buckets / p50 / p95 / p99).
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "window_s": self.window_s,
+            "resolution_s": self.resolution_s,
+            "counters": {
+                key: {
+                    "total": round(counter.total(), 6),
+                    "rate": round(counter.rate(), 6),
+                }
+                for key, counter in sorted(counters.items())
+            },
+            "histograms": {
+                key: histogram.summary().as_dict()
+                for key, histogram in sorted(histograms.items())
+            },
+        }

@@ -6,9 +6,12 @@ The batch harness answers "how accurate is PURPLE"; this package answers
 core (:class:`~repro.serve.service.NL2SQLService`) with per-tenant
 isolation (:mod:`repro.serve.tenants`) and admission control that sheds
 load down the degradation ladder instead of dropping requests
-(:mod:`repro.serve.admission`).  Start it with ``repro serve``; the wire
-contract is :mod:`repro.api.types`; the design doc is
-``docs/serving.md``.
+(:mod:`repro.serve.admission`).  Continuous telemetry — windowed
+rates/quantiles, the per-tenant cost ledger, SLO burn tracking, and the
+live trace store — comes from :mod:`repro.obs.live`, wired in via
+``NL2SQLService(live=...)`` and watched with ``repro top``.  Start it
+with ``repro serve``; the wire contract is :mod:`repro.api.types`; the
+design docs are ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from repro.serve.admission import (

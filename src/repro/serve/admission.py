@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterator, Optional
 
 from repro.llm.resilient import Clock, SystemClock
@@ -165,6 +165,22 @@ class AdmissionController:
         """Give back the in-flight slot taken by a non-reject verdict."""
         with self._lock:
             self._inflight = max(0, self._inflight - 1)
+
+    def snapshot(self) -> dict:
+        """JSON-ready posture for ``/v1/metrics`` and ``/v1/status``."""
+        with self._lock:
+            inflight = self._inflight
+            peak = self._peak_inflight
+            buckets = dict(self._buckets)
+        return {
+            "inflight": inflight,
+            "peak_inflight": peak,
+            "policy": asdict(self.policy),
+            "tokens": {
+                tenant_id: round(bucket.tokens, 3)
+                for tenant_id, bucket in sorted(buckets.items())
+            },
+        }
 
     @contextmanager
     def request(self, tenant_id: str) -> Iterator[str]:

@@ -13,8 +13,15 @@ POST      ``/v1/explain``   TranslateRequest (+ optional ``"sql"`` key) →
 POST      ``/v1/execute``   :class:`~repro.api.types.ExecuteRequest` →
                             :class:`~repro.api.types.ExecuteResponse`
 GET       ``/v1/health``    liveness report (plain JSON)
-GET       ``/v1/metrics``   obs metrics snapshot (plain JSON)
+GET       ``/v1/metrics``   obs metrics snapshot — JSON by default,
+                            Prometheus text with ``Accept: text/plain``
+GET       ``/v1/status``    SLO burn state + admission posture
+GET       ``/v1/tenants/{id}/usage``  per-tenant cost ledger
+GET       ``/v1/trace/{request_id}``  retained span tree (schema v1)
 ========  ================  =============================================
+
+The three live-telemetry GET routes answer 501 when the service was
+built without a :class:`~repro.obs.live.LiveTelemetry` layer.
 
 Every error is an :class:`~repro.api.types.ErrorEnvelope` with the HTTP
 status it names.  The handler speaks HTTP/1.1 with keep-alive so
@@ -68,6 +75,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _send_error_envelope(self, status: int, code: str,
                              message: str) -> None:
         self._send_json(
@@ -97,7 +113,25 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/v1/health":
             status, payload = self.service.health()
         elif self.path == "/v1/metrics":
+            # Content negotiation: JSON is the default wire format; a
+            # scraper asking for text/plain gets Prometheus exposition.
+            if "text/plain" in self.headers.get("Accept", ""):
+                status, text = self.service.prometheus()
+                self._send_text(
+                    status, text,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
             status, payload = self.service.metrics()
+        elif self.path == "/v1/status":
+            status, payload = self.service.status()
+        elif (self.path.startswith("/v1/tenants/")
+                and self.path.endswith("/usage")):
+            tenant_id = self.path[len("/v1/tenants/"):-len("/usage")]
+            status, payload = self.service.tenant_usage(tenant_id)
+        elif self.path.startswith("/v1/trace/"):
+            request_id = self.path[len("/v1/trace/"):]
+            status, payload = self.service.trace(request_id)
         else:
             self._send_error_envelope(
                 404, "not_found", f"no route {self.path!r}"

@@ -34,6 +34,10 @@ from repro.api.types import (
     task_from_request,
 )
 from repro.eval.timing import collect_stages
+from repro.obs.export import SCHEMA_VERSION
+from repro.obs.live import LiveTelemetry
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.prom import prometheus_text
 from repro.schema import exception_text
 from repro.schema.sqlite_backend import SQLiteExecutor
 from repro.serve.admission import REJECT, SHED, AdmissionController
@@ -60,6 +64,11 @@ class NL2SQLService:
     databases; ``admission`` renders admit/shed/reject verdicts;
     ``observer`` (optional) collects the service's traces, metrics, and
     events — when None, telemetry is off and every hook is a no-op.
+    ``live`` (optional) is the continuous-telemetry layer
+    (:class:`~repro.obs.live.LiveTelemetry`): windowed rates and
+    quantiles on ``/v1/metrics``, the per-tenant cost ledger behind
+    ``/v1/tenants/{id}/usage``, SLO burn state behind ``/v1/status``,
+    and the trace store behind ``/v1/trace/{request_id}``.
     """
 
     def __init__(
@@ -67,13 +76,21 @@ class NL2SQLService:
         registry: TenantRegistry,
         admission: Optional[AdmissionController] = None,
         observer=None,
+        live: Optional[LiveTelemetry] = None,
     ):
         self.registry = registry
         self.admission = admission or AdmissionController()
         self.observer = observer
+        self.live = live
         self.executor = SQLiteExecutor()
         self._sequences: dict = {}
         self._lock = threading.Lock()
+        if live is not None:
+            for tenant in registry:
+                if tenant.objectives is not None:
+                    live.slo.set_objectives(
+                        tenant.tenant_id, tenant.objectives
+                    )
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -98,17 +115,23 @@ class NL2SQLService:
         )
 
     def _record(self, endpoint: str, tenant_id: str, latency_s: float,
-                status: int) -> None:
-        if self.observer is None:
-            return
-        metrics = self.observer.metrics
-        metrics.count("serve.requests", endpoint=endpoint, tenant=tenant_id)
-        if status >= 400:
-            metrics.count("serve.errors", endpoint=endpoint, status=status)
-        metrics.observe(
-            "serve.latency_ms", latency_s * 1000.0, endpoint=endpoint,
-            tenant=tenant_id,
-        )
+                status: int, response=None, known_tenant: bool = True) -> None:
+        if self.observer is not None:
+            metrics = self.observer.metrics
+            metrics.count("serve.requests", endpoint=endpoint,
+                          tenant=tenant_id)
+            if status >= 400:
+                metrics.count("serve.errors", endpoint=endpoint,
+                              status=status)
+            metrics.observe(
+                "serve.latency_ms", latency_s * 1000.0, endpoint=endpoint,
+                tenant=tenant_id,
+            )
+        if self.live is not None:
+            self.live.record_request(
+                endpoint, tenant_id, latency_s, status,
+                response=response, track_tenant=known_tenant,
+            )
 
     def _resolve(self, request):
         """Tenant + database for a wire request, or the error envelope."""
@@ -143,7 +166,8 @@ class NL2SQLService:
         request = self._ensure_request_id(request)
         tenant, database, error = self._resolve(request)
         if error is not None:
-            self._record("translate", request.tenant, 0.0, error[0])
+            self._record("translate", request.tenant, 0.0, error[0],
+                         known_tenant=tenant is not None)
             return error
         started = time.perf_counter()
         with self._activated():
@@ -170,7 +194,15 @@ class NL2SQLService:
                         min_rung=min_rung,
                     )
         latency = time.perf_counter() - started
-        self._record("translate", request.tenant, latency, 200)
+        self._record("translate", request.tenant, latency, 200,
+                     response=response)
+        if self.live is not None:
+            # Tail capture happens after the task scope has closed: the
+            # finished spans are read off the tracer by lane, so the
+            # stored tree is exactly what the batch engine would emit.
+            self.live.capture(
+                request.request_id, request.tenant, 200, latency
+            )
         return 200, dataclasses.replace(
             response, latency_ms=round(latency * 1000.0, 3)
         )
@@ -184,7 +216,8 @@ class NL2SQLService:
         request = self._ensure_request_id(request)
         tenant, database, error = self._resolve(request)
         if error is not None:
-            self._record("explain", request.tenant, 0.0, error[0])
+            self._record("explain", request.tenant, 0.0, error[0],
+                         known_tenant=tenant is not None)
             return error
         started = time.perf_counter()
         with self._activated():
@@ -229,7 +262,8 @@ class NL2SQLService:
         request = self._ensure_request_id(request)
         tenant, database, error = self._resolve(request)
         if error is not None:
-            self._record("execute", request.tenant, 0.0, error[0])
+            self._record("execute", request.tenant, 0.0, error[0],
+                         known_tenant=tenant is not None)
             return error
         started = time.perf_counter()
         with self._activated():
@@ -275,20 +309,93 @@ class NL2SQLService:
         }
 
     def metrics(self):
-        """``GET /v1/metrics`` — JSON snapshot of the obs registry."""
+        """``GET /v1/metrics`` — JSON snapshot of the obs registry.
+
+        With a live layer the payload also carries ``"live"``: the
+        trailing-window counters and p50/p95/p99 latency summaries,
+        per-tenant usage totals, and trace-store occupancy.
+        """
         if self.observer is not None:
             snapshot = self.observer.metrics.snapshot().as_dict()
         else:
             snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
-        policy = self.admission.policy
-        return 200, {
+        payload = {
             "metrics": snapshot,
-            "admission": {
-                "inflight": self.admission.inflight,
-                "peak_inflight": self.admission.peak_inflight,
-                "policy": dataclasses.asdict(policy),
-            },
+            "admission": self.admission.snapshot(),
         }
+        if self.live is not None:
+            payload["live"] = self.live.payload()
+        return 200, payload
+
+    def prometheus(self):
+        """``GET /v1/metrics`` with ``Accept: text/plain`` — exposition."""
+        if self.observer is not None:
+            snapshot = self.observer.metrics.snapshot()
+        else:
+            snapshot = MetricsSnapshot()
+        live = self.live.payload() if self.live is not None else None
+        return 200, prometheus_text(snapshot, live)
+
+    def status(self):
+        """``GET /v1/status`` — SLO burn state + admission posture."""
+        slo = self.live.slo.status() if self.live is not None else {}
+        burning = sorted(
+            f"{tenant}:{objective}"
+            for tenant, objectives in slo.items()
+            for objective, state in objectives.items()
+            if state["state"] == "burning"
+        )
+        return 200, {
+            "status": "burning" if burning else "ok",
+            "burning": burning,
+            "slo": slo,
+            "admission": self.admission.snapshot(),
+        }
+
+    def tenant_usage(self, tenant_id: str):
+        """``GET /v1/tenants/{id}/usage`` — the tenant's cost ledger."""
+        try:
+            self.registry.get(tenant_id)
+        except UnknownTenantError as exc:
+            return 404, ErrorEnvelope(
+                code="unknown_tenant", message=exception_text(exc),
+                status=404,
+            )
+        if self.live is None:
+            return 501, ErrorEnvelope(
+                code="unsupported",
+                message="usage accounting requires live telemetry",
+                status=501,
+            )
+        usage = self.live.ledger.usage(tenant_id)
+        return 200, {
+            "tenant": tenant_id,
+            "usage": usage or {},
+            "snapshots": self.live.ledger.snapshots(tenant_id),
+        }
+
+    def trace(self, request_id: str):
+        """``GET /v1/trace/{request_id}`` — a retained request trace.
+
+        Spans come back in the JSONL schema-v1 span shape, ``seq``
+        ordered — byte-identical to what the batch engine's trace
+        export would write for the same task under the same lane.
+        """
+        if self.live is None:
+            return 501, ErrorEnvelope(
+                code="unsupported",
+                message="trace capture requires live telemetry",
+                status=501,
+            )
+        entry = self.live.traces.get(request_id)
+        if entry is None:
+            return 404, ErrorEnvelope(
+                code="trace_not_found",
+                message=f"no retained trace for request {request_id!r}",
+                request_id=request_id, status=404,
+            )
+        entry["schema_version"] = SCHEMA_VERSION
+        return 200, entry
 
     def close(self) -> None:
         """Release the execution backend."""

@@ -51,13 +51,17 @@ class Tenant:
     is the tenant's own fitted approach instance (instances are never
     shared across tenants — per-tenant stores and repair budgets hang
     off them).  ``store_path`` records the demonstration store the
-    translator was wired to, for the health report.
+    translator was wired to, for the health report.  ``objectives``
+    (a :class:`~repro.obs.live.SLOObjectives`, optional) overrides the
+    service-wide SLO targets for this tenant; the service installs it
+    into the live-telemetry SLO tracker at construction.
     """
 
     tenant_id: str
     data: object
     translator: object
     store_path: Optional[str] = None
+    objectives: Optional[object] = None
 
     def database(self, db_id: str):
         """Resolve one of this tenant's databases or raise typed."""

@@ -246,6 +246,90 @@ class TestNoBlockingInHandler:
         assert self.run_scoped(tmp_path, source) == []
 
 
+class TestMetricNameConvention:
+    RULE = "py.metric-name-convention"
+
+    def test_dot_namespaced_literals_pass(self, tmp_path):
+        source = (
+            "obs.count('serve.requests', endpoint='t')\n"
+            "metrics.observe('serve.latency_ms', 1.0)\n"
+            "self.windows.gauge('pool.size', 3)\n"
+        )
+        assert run_rule(tmp_path, self.RULE, source) == []
+
+    def test_non_namespaced_literal_flagged(self, tmp_path):
+        findings = run_rule(tmp_path, self.RULE, "obs.count('hits')\n")
+        assert [d.rule for d in findings] == [self.RULE]
+        assert "dot-namespaced" in findings[0].message
+
+    def test_uppercase_and_trailing_dot_flagged(self, tmp_path):
+        source = (
+            "obs.count('Serve.Requests')\n"
+            "obs.count('serve.')\n"
+        )
+        assert len(run_rule(tmp_path, self.RULE, source)) == 2
+
+    def test_non_literal_name_flagged(self, tmp_path):
+        source = (
+            "name = 'serve.requests'\n"
+            "obs.count(name)\n"
+            "obs.count('serve.' + kind)\n"
+            "obs.count(f'serve.{kind}')\n"
+        )
+        findings = run_rule(tmp_path, self.RULE, source)
+        assert [d.span.line for d in findings] == [2, 3, 4]
+
+    def test_missing_name_argument_flagged(self, tmp_path):
+        findings = run_rule(tmp_path, self.RULE,
+                            "obs.count(endpoint='t')\n")
+        assert len(findings) == 1
+        assert "positional" in findings[0].message
+
+    def test_unrelated_receivers_not_flagged(self, tmp_path):
+        source = (
+            "'a.b.c'.count('.')\n"
+            "[1, 2].count(1)\n"
+            "window_list.count(3)\n"
+            "df.observe('whatever')\n"
+        )
+        assert run_rule(tmp_path, self.RULE, source) == []
+
+    def test_bare_helpers_checked_when_imported_from_obs(self, tmp_path):
+        flagged = (
+            "from repro.obs.runtime import count, observe\n"
+            "count('hits')\n"
+            "observe('latency', 1.0)\n"
+        )
+        assert len(run_rule(tmp_path, self.RULE, flagged)) == 2
+        local = (
+            "def count(x):\n    return x\n"
+            "count('hits')\n"
+        )
+        assert run_rule(tmp_path, self.RULE, local) == []
+
+    def test_waivable_per_line(self, tmp_path):
+        source = "obs.count(dynamic)  # noqa: metric-name-convention\n"
+        assert run_rule(tmp_path, self.RULE, source) == []
+
+    def test_runtime_facade_exempt_by_path(self, tmp_path):
+        allowed = tmp_path / "repro" / "obs"
+        allowed.mkdir(parents=True)
+        (allowed / "runtime.py").write_text(
+            "class Observer:\n"
+            "    def forward(self, name, value):\n"
+            "        self.metrics.count(name, value)\n"
+        )
+        engine = LintEngine(
+            root=tmp_path / "repro", rules={self.RULE: REGISTRY[self.RULE]}
+        )
+        assert engine.run() == []
+
+    def test_registered_for_tier1_enforcement(self):
+        # Registered in the default registry -> TestSelfClean runs it
+        # over the real package tree on every tier-1 pass.
+        assert self.RULE in REGISTRY
+
+
 class TestSelfClean:
     def test_package_tree_is_clean(self):
         findings = lint_tree()

@@ -2,7 +2,10 @@
 
 import threading
 
+import pytest
+
 from repro.obs.metrics import (
+    LATENCY_BUCKET_BOUNDS_MS,
     HistogramSummary,
     MetricsRegistry,
     metric_key,
@@ -99,3 +102,104 @@ class TestGaugesAndHistograms:
         reg.count("z")
         reg.count("a")
         assert list(reg.snapshot().as_dict()["counters"]) == ["a", "z"]
+
+
+class TestBucketedHistogram:
+    """Fixed-bounds summaries: buckets, quantiles, merge, wire compat."""
+
+    def test_bucket_assignment(self):
+        hist = HistogramSummary(bounds=(10.0, 100.0))
+        for value in (5.0, 10.0, 50.0, 500.0):
+            hist.add(value)
+        # <=10 | <=100 | overflow — bisect_left puts 10.0 in bucket 0.
+        assert hist.buckets == [2, 1, 1]
+        assert hist.count == 4
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(bounds=(100.0, 10.0))
+
+    def test_quantile_none_without_bounds(self):
+        hist = HistogramSummary()
+        hist.add(1.0)
+        assert hist.quantile(0.5) is None
+
+    def test_quantile_zero_before_observations(self):
+        assert HistogramSummary(bounds=(1.0, 2.0)).quantile(0.5) == 0.0
+
+    def test_quantile_interpolates_and_clamps(self):
+        hist = HistogramSummary(bounds=LATENCY_BUCKET_BOUNDS_MS)
+        for _ in range(100):
+            hist.add(40.0)
+        p50 = hist.quantile(0.50)
+        # All mass in the (25, 50] bucket: the estimate stays inside it
+        # and inside the observed [min, max].
+        assert 25.0 <= p50 <= 50.0
+        assert hist.quantile(0.99) <= hist.max
+        assert hist.quantile(0.01) >= hist.min
+
+    def test_quantile_ordering(self):
+        hist = HistogramSummary(bounds=LATENCY_BUCKET_BOUNDS_MS)
+        for i in range(1, 200):
+            hist.add(float(i * 7 % 900))
+        assert (hist.quantile(0.50) <= hist.quantile(0.95)
+                <= hist.quantile(0.99))
+
+    def test_merge_sums_buckets(self):
+        a = HistogramSummary(bounds=(10.0, 100.0))
+        b = HistogramSummary(bounds=(10.0, 100.0))
+        a.add(5.0)
+        b.add(50.0)
+        b.add(500.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.buckets == [1, 1, 1]
+        assert a.min == 5.0 and a.max == 500.0
+
+    def test_merge_empty_other_is_noop(self):
+        a = HistogramSummary(bounds=(1.0,))
+        a.add(0.5)
+        a.merge(HistogramSummary(bounds=(1.0,)))
+        assert a.count == 1 and a.min == 0.5
+
+    def test_merge_into_empty_adopts_min_max(self):
+        a = HistogramSummary(bounds=(1.0,))
+        b = HistogramSummary(bounds=(1.0,))
+        b.add(0.25)
+        a.merge(b)
+        assert a.min == 0.25 and a.max == 0.25
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = HistogramSummary(bounds=(1.0,))
+        b = HistogramSummary(bounds=(2.0,))
+        b.add(1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_as_dict_backward_compatible(self):
+        # No bounds -> exactly the original four keys, so trace-export
+        # consumers and repro report see an unchanged shape.
+        plain = HistogramSummary()
+        plain.add(1.0)
+        assert set(plain.as_dict()) == {"count", "total", "min", "max"}
+        bounded = HistogramSummary(bounds=(10.0,))
+        bounded.add(1.0)
+        extra = set(bounded.as_dict())
+        assert {"count", "total", "min", "max"} <= extra
+        assert {"bounds", "buckets", "p50", "p95", "p99"} <= extra
+
+    def test_registry_snapshot_copies_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("x.y", 1.0)
+        # Registry histograms stay unbounded by default; snapshot must
+        # still carry the bounds/buckets fields through for ones that
+        # have them.
+        snap = reg.snapshot()
+        assert snap.histograms["x.y"].bounds == ()
+        reg._histograms["x.y"] = HistogramSummary(bounds=(10.0,))
+        reg.observe("x.y", 5.0)
+        snap2 = reg.snapshot()
+        copied = snap2.histograms["x.y"]
+        assert copied.buckets == [1, 0]
+        reg.observe("x.y", 5.0)
+        assert copied.buckets == [1, 0], "snapshot must be a copy"

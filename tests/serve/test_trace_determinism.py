@@ -42,14 +42,14 @@ def example(dev_set):
 
 
 def make_service(translator, dev_set, observer,
-                 policy=None, clock=None):
+                 policy=None, clock=None, live=None):
     registry = TenantRegistry()
     registry.add(Tenant(tenant_id="acme", data=dev_set,
                         translator=translator))
     controller = AdmissionController(
         policy or AdmissionPolicy(rate=1000.0, burst=1000), clock=clock
     )
-    return NL2SQLService(registry, controller, observer=observer)
+    return NL2SQLService(registry, controller, observer=observer, live=live)
 
 
 class TestServedEqualsBatch:
@@ -107,6 +107,116 @@ class TestServedEqualsBatch:
         assert response.best_effort == batch_result.best_effort
         assert response.prompt_tokens == batch_result.usage.prompt_tokens
         assert response.output_tokens == batch_result.usage.output_tokens
+
+
+class TestLiveCaptureDeterminism:
+    """The continuous-telemetry layer must not perturb the span tree.
+
+    The tentpole acceptance bar: with live capture enabled, the span
+    tree ``GET /v1/trace/{request_id}`` returns for a served request is
+    identical to the tree the batch engine produces for the same task
+    (same ids — ``stable_hash(seed, lane, seq)`` — same parents, names,
+    lanes, seqs), and the stored spans are byte-identical to the
+    tracer's own JSONL schema-v1 export of that lane.
+    """
+
+    def _batch_tree(self, train_set, dev_set, example):
+        from tests.serve.conftest import make_translator
+
+        observer = Observer(seed=0, log_level="info")
+        task = TranslationTask(
+            question=example.question,
+            database=dev_set.database(example.db_id),
+        )
+        map_ordered(
+            make_translator(train_set).translate, [task],
+            lane_of=lambda t: LANE, observer=observer,
+        )
+        return span_tree(observer, LANE)
+
+    def _live(self, observer, prune_lanes=False):
+        from repro.obs import LiveConfig, LiveTelemetry
+
+        return LiveTelemetry(
+            observer=observer,
+            config=LiveConfig(prune_lanes=prune_lanes),
+        )
+
+    def test_trace_endpoint_matches_batch_tree(self, train_set, dev_set,
+                                               example):
+        from tests.serve.conftest import make_translator
+
+        batch_tree = self._batch_tree(train_set, dev_set, example)
+
+        observer = Observer(seed=0, log_level="info")
+        service = make_service(
+            make_translator(train_set), dev_set, observer,
+            live=self._live(observer),
+        )
+        status, _ = service.translate(TranslateRequest(
+            question=example.question, db_id=example.db_id,
+            tenant="acme", request_id=LANE,
+        ))
+        trace_status, trace = service.trace(LANE)
+        service.close()
+
+        assert status == 200 and trace_status == 200
+        served_tree = [
+            (s["id"], s["parent"], s["name"], s["lane"], s["seq"])
+            for s in trace["spans"]
+        ]
+        assert batch_tree, "batch run must have produced spans"
+        assert served_tree == batch_tree
+
+    def test_stored_spans_byte_identical_to_tracer_export(
+        self, translator, dev_set, example
+    ):
+        import json
+
+        observer = Observer(seed=0, log_level="info")
+        service = make_service(
+            translator, dev_set, observer, live=self._live(observer),
+        )
+        service.translate(TranslateRequest(
+            question=example.question, db_id=example.db_id,
+            tenant="acme", request_id=LANE,
+        ))
+        _, trace = service.trace(LANE)
+        exported = [
+            span.as_dict() for span in observer.tracer.lane_spans(LANE)
+        ]
+        service.close()
+        assert (json.dumps(trace["spans"], sort_keys=True)
+                == json.dumps(exported, sort_keys=True))
+
+    def test_pruned_lane_replays_identical_span_ids(self, translator,
+                                                    dev_set, example):
+        # With prune_lanes (the `repro serve` default) the tracer
+        # forgets each captured lane — so a replayed request id derives
+        # the very same span ids, and tracer memory stays bounded.
+        observer = Observer(seed=0, log_level="info")
+        service = make_service(
+            translator, dev_set, observer,
+            live=self._live(observer, prune_lanes=True),
+        )
+        request = TranslateRequest(
+            question=example.question, db_id=example.db_id,
+            tenant="acme", request_id=LANE,
+        )
+        service.translate(request)
+        _, first = service.trace(LANE)
+        assert len(observer.tracer) == 0, "lane pruned after capture"
+        service.translate(request)
+        _, second = service.trace(LANE)
+        service.close()
+
+        def tree(trace):
+            return [
+                (s["id"], s["parent"], s["name"], s["lane"], s["seq"])
+                for s in trace["spans"]
+            ]
+
+        assert tree(first) == tree(second)
 
 
 class TestShedding:
