@@ -1,0 +1,117 @@
+"""Dialect portability axis — not a paper table.
+
+The same zero-shot workload evaluates once on the native SQLite backend
+and once on the simulated Postgres profile (guard on for both).  Two
+contracts gate the axis, and the per-dialect guard economics land in
+``results.json`` under ``dialects``:
+
+* **SQLite byte-identity** — per-example EM/EX/TS and the renderer's
+  SQLite output are exactly what they were before the dialect axis
+  existed; the new machinery must be invisible on the native path.
+* **Postgres score parity on this workload** — the mock LLM emits
+  SQLite-surface SQL whose legal subset renders identically on
+  Postgres, so aggregate EM/EX must match across the axes while the
+  failure vocabulary (error codes, static rejections) changes.
+"""
+
+import pytest
+
+from benchmarks.common import print_table
+from benchmarks.conftest import LLM_SEED
+from repro import api
+from repro.eval import diagnostics_summary, evaluate_approach
+from repro.llm import CHATGPT, MockLLM
+from repro.obs import Observer
+from repro.sqlkit import parse_sql, render_sql
+from repro.sqlkit.render import DIALECTS
+
+SUBSET = 150
+
+
+def make_approach():
+    return api.create("zero", llm=MockLLM(CHATGPT, seed=LLM_SEED))
+
+
+def run(corpus, suites, dialect, observer=None):
+    return evaluate_approach(
+        make_approach(), corpus.dev, test_suites=suites, limit=SUBSET,
+        static_guard=True, dialect=dialect, observer=observer,
+    )
+
+
+@pytest.fixture(scope="module")
+def axis_runs(corpus, suites):
+    return {
+        "sqlite": run(corpus, suites, "sqlite", observer=Observer()),
+        "postgres": run(corpus, suites, "postgres", observer=Observer()),
+    }
+
+
+def _score_rows(report):
+    return [
+        (o.ex_id, o.em, o.ex, o.ts, o.eval_error) for o in report.outcomes
+    ]
+
+
+def test_sqlite_axis_is_byte_identical_to_unguarded(corpus, suites, axis_runs):
+    bare = evaluate_approach(
+        make_approach(), corpus.dev, test_suites=suites, limit=SUBSET,
+    )
+    assert _score_rows(bare) == _score_rows(axis_runs["sqlite"])
+
+
+def test_sqlite_rendering_has_zero_drift(corpus):
+    for ex in list(corpus.dev)[:SUBSET]:
+        assert render_sql(parse_sql(ex.sql), "sqlite") == render_sql(
+            parse_sql(ex.sql)
+        )
+
+
+def test_gold_corpus_renders_cleanly_for_every_dialect(corpus):
+    for dialect in DIALECTS:
+        for ex in list(corpus.dev)[:SUBSET]:
+            rendered = render_sql(parse_sql(ex.sql), dialect)
+            assert render_sql(parse_sql(rendered), dialect) == rendered
+
+
+def test_dialect_axis_economics(axis_runs, record):
+    lite, pg = axis_runs["sqlite"], axis_runs["postgres"]
+    assert (lite.em, lite.ex, lite.ts) == (pg.em, pg.ex, pg.ts), (
+        "aggregate scores must agree across execution axes on this workload"
+    )
+    entries = {}
+    rows = []
+    for name, report in (("sqlite", lite), ("postgres", pg)):
+        summary = diagnostics_summary(report)
+        telemetry = report.telemetry
+        entry = {
+            "tasks": SUBSET,
+            "em": round(report.em, 4),
+            "ex": round(report.ex, 4),
+            "ts": round(report.ts, 4),
+            "guard_checked": summary["guard_checked"],
+            "guard_skipped": summary["guard_skipped"],
+            "executions_avoided_rate": summary["executions_avoided_rate"],
+            "dialect_checked": telemetry.dialect_checked,
+            "dialect_findings": telemetry.dialect_findings,
+            "dialect_rejections": telemetry.dialect_rejections,
+            "dlct_rules": {
+                rule: count
+                for rule, count in summary["rules"].items()
+                if rule.startswith("dlct.")
+            },
+        }
+        entries[name] = entry
+        rows.append([
+            name, f"{report.em:.1%}", f"{report.ex:.1%}", f"{report.ts:.1%}",
+            f"{entry['guard_skipped']}/{entry['guard_checked']}",
+            str(entry["dialect_rejections"]),
+        ])
+    print_table(
+        f"Dialect axis — {SUBSET} tasks, zero-shot, guard on",
+        ["Axis", "EM", "EX", "TS", "Skipped", "Rejections"],
+        rows,
+    )
+    entries["scores_identical_across_axes"] = True
+    record("dialects", entries)
+    assert pg.telemetry.dialect_checked > 0

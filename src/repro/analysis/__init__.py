@@ -20,6 +20,15 @@ from repro.analysis.diagnostics import (
     record_diagnostics,
     summarize,
 )
+from repro.analysis.dialects import (
+    DIALECT_FATAL_RULES,
+    DIALECT_RULES,
+    PROFILES,
+    DialectAnalyzer,
+    DialectProfile,
+    analyze_dialect,
+    get_profile,
+)
 from repro.analysis.pylint import (
     PACKAGE_ROOT,
     REGISTRY,
@@ -42,6 +51,13 @@ __all__ = [
     "Span",
     "record_diagnostics",
     "summarize",
+    "DIALECT_FATAL_RULES",
+    "DIALECT_RULES",
+    "PROFILES",
+    "DialectAnalyzer",
+    "DialectProfile",
+    "analyze_dialect",
+    "get_profile",
     "PACKAGE_ROOT",
     "REGISTRY",
     "FileContext",

@@ -79,7 +79,8 @@ def _make_llm(llm_name: str, cache_dir=None):
 
 def _build_approach(name: str, llm, train: Dataset, budget: int,
                     consistency: int, store=None, offline_index=False,
-                    repair_rounds=0, repair_token_budget=None):
+                    repair_rounds=0, repair_token_budget=None,
+                    dialect="sqlite"):
     """Registry construction with CLI error rendering.
 
     The assembly itself lives in :func:`repro.api.runtime.build_approach`
@@ -97,6 +98,7 @@ def _build_approach(name: str, llm, train: Dataset, budget: int,
             store=store, offline_index=offline_index,
             repair_rounds=repair_rounds,
             repair_token_budget=repair_token_budget,
+            dialect=dialect,
         )
     except (RuntimeConfigError, api.UnknownApproachError) as exc:
         raise SystemExit(exception_text(exc))
@@ -141,10 +143,12 @@ def _cmd_evaluate(args) -> int:
             store=args.store, offline_index=args.offline_index,
             repair_rounds=args.repair_rounds,
             repair_token_budget=args.repair_token_budget,
+            dialect=args.dialect,
         )
     report = evaluate_approach(
         approach, dev, limit=args.limit, workers=args.workers,
         observer=observer, static_guard=args.static_guard,
+        dialect=args.dialect,
     )
     render.out(
         f"{approach.name}: EM {report.em:.1%}  EX {report.ex:.1%}  "
@@ -373,19 +377,22 @@ def _cmd_lint(args) -> int:
 def _cmd_analyze(args) -> int:
     import json
 
-    from repro.analysis import analyze_sql
+    from repro.analysis import analyze_dialect
 
     dataset = _load(args.dataset)
     if args.db not in dataset.databases:
         raise SystemExit(
             f"unknown db_id {args.db!r}; available: {dataset.db_ids()}"
         )
-    diagnostics = analyze_sql(args.sql, dataset.database(args.db).schema)
+    diagnostics = analyze_dialect(
+        args.sql, dataset.database(args.db).schema, args.dialect
+    )
     if args.format == "json":
         render.out(json.dumps(
             {
                 "sql": args.sql,
                 "db_id": args.db,
+                "dialect": args.dialect,
                 "diagnostics": [d.as_dict() for d in diagnostics],
             },
             indent=2,
@@ -540,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--static-guard", action="store_true",
         help="skip executing predictions the static analyzer proves "
              "fatal (scores are byte-identical either way)",
+    )
+    e.add_argument(
+        "--dialect", default="sqlite", choices=["sqlite", "postgres"],
+        help="execution axis: sqlite (real backend) or postgres "
+             "(simulated profile; guard, errors, and repair speak "
+             "Postgres — see docs/dialects.md)",
     )
     e.set_defaults(func=_cmd_evaluate)
 
@@ -728,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("sql", help="the SQL text to analyze")
     a.add_argument("--db", required=True, help="database id in the dataset")
     a.add_argument("--dataset", default="corpus/dev.json")
+    a.add_argument(
+        "--dialect", default="sqlite",
+        choices=["sqlite", "postgres", "mysql"],
+        help="target dialect for portability findings (dlct.* rules; "
+             "default sqlite checks the native surface only)",
+    )
     a.add_argument("--format", default="text", choices=["text", "json"])
     a.set_defaults(func=_cmd_analyze)
     return parser

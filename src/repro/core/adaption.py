@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.diagnostics import record_diagnostics
+from repro.analysis.dialects import DialectAnalyzer
 from repro.analysis.sqlcheck import SQLAnalyzer
 from repro.obs import runtime as obs
 from repro.schema import Database, SchemaGraph, SQLiteExecutor
@@ -71,18 +72,24 @@ class DatabaseAdapter:
         executor: SQLiteExecutor,
         max_attempts: int = 5,
         map_functions: bool = False,
+        dialect: str = "sqlite",
     ):
         self.executor = executor
         self.max_attempts = max_attempts
         self.map_functions = map_functions
+        self.dialect = dialect
         self._analyzers: dict = {}
 
     def _analyzer(self, database: Database) -> SQLAnalyzer:
         analyzer = self._analyzers.get(database.db_id)
         if analyzer is None:
-            analyzer = self._analyzers[database.db_id] = SQLAnalyzer(
-                database.schema
-            )
+            if self.dialect == "sqlite":
+                analyzer = SQLAnalyzer(database.schema)
+            else:
+                analyzer = DialectAnalyzer(
+                    database.schema, dialect=self.dialect
+                )
+            self._analyzers[database.db_id] = analyzer
         return analyzer
 
     def diagnose(self, sql: str, database: Database) -> list:

@@ -59,6 +59,11 @@ class PurpleConfig:
     repair_rounds: int = 0
     repair_token_budget: Optional[int] = None
 
+    # Execution dialect axis (docs/dialects.md): "sqlite" is the real
+    # backend; "postgres" the simulated profile.  Guard, adapter, and
+    # repair all target the same dialect as the executor.
+    dialect: str = "sqlite"
+
     # Misc
     seed: int = 0
     classifier_epochs: int = 300

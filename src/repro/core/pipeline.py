@@ -37,7 +37,7 @@ from repro.obs import runtime as obs
 from repro.plm.classifier import train_schema_classifier
 from repro.repair import RepairBudget, RepairLoop
 from repro.plm.skeleton_model import train_skeleton_predictor
-from repro.schema import SQLiteExecutor
+from repro.schema import make_executor
 from repro.spider.dataset import Dataset
 from repro.sqlkit.skeleton import skeleton_tokens
 from repro.utils.rng import derive_rng, stable_hash
@@ -56,11 +56,12 @@ class Purple:
         self.llm = llm
         self.config = config or PurpleConfig()
         self.name = f"PURPLE({llm.name})"
-        self.executor = SQLiteExecutor()
+        self.executor = make_executor(self.config.dialect)
         self.adapter = DatabaseAdapter(
             self.executor,
             max_attempts=self.config.max_repair_attempts,
             map_functions=self.config.map_functions,
+            dialect=self.config.dialect,
         )
         # The repair budget is run-wide: one ledger shared by every
         # worker translating through this instance (docs/repair.md).

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.analysis.diagnostics import record_diagnostics
-from repro.analysis.sqlcheck import SQLAnalyzer, fatal_diagnostics
+from repro.analysis.dialects import DialectAnalyzer
+from repro.analysis.sqlcheck import fatal_diagnostics
 from repro.eval.cost import TokenUsage
 from repro.eval.engine import map_ordered
 from repro.eval.exact_match import exact_set_match
@@ -27,7 +28,7 @@ from repro.eval.timing import RunTiming, stage
 from repro.llm.errors import LLMError, failure_fields
 from repro.obs import runtime as obs
 from repro.obs.telemetry import RunTelemetry
-from repro.schema import Database, SQLiteExecutor, exception_text
+from repro.schema import Database, SQLiteExecutor, exception_text, make_executor
 from repro.spider.dataset import Dataset
 
 HARDNESS_ORDER = ("easy", "medium", "hard", "extra")
@@ -122,6 +123,8 @@ class EvaluationReport:
     approach: str
     dataset: str
     outcomes: list = field(default_factory=list)
+    #: execution axis the run was scored on ("sqlite" or "postgres")
+    dialect: str = "sqlite"
     timing: Optional[RunTiming] = None
     telemetry: Optional[RunTelemetry] = None
 
@@ -226,6 +229,7 @@ def evaluate_approach(
     workers: int = 1,
     observer=None,
     static_guard: bool = False,
+    dialect: str = "sqlite",
 ) -> EvaluationReport:
     """Run ``approach`` over ``dataset`` and compute EM/EX (and TS when
     suites are supplied as ``{db_id: TestSuite}``).
@@ -246,14 +250,25 @@ def evaluate_approach(
     (they can only score EX=False / TS=False); the gold SQL still
     executes so gold failures surface identically, and EM is computed
     regardless, so every score is byte-identical with the guard off.
+
+    ``dialect`` picks the execution axis: ``sqlite`` (the default,
+    byte-identical to the historical harness) or ``postgres`` (the
+    simulated profile from :mod:`repro.schema.dialect_backend`).  The
+    guard analyzer targets the same dialect, so statements the target
+    engine would refuse are skipped with ``dlct.*`` findings and failed
+    executions carry dialect-specific error codes into the repair loop.
     """
-    report = EvaluationReport(approach=approach.name, dataset=dataset.name)
+    report = EvaluationReport(
+        approach=approach.name, dataset=dataset.name, dialect=dialect
+    )
     examples = dataset.examples[:limit] if limit else dataset.examples
     needed_dbs = sorted({ex.db_id for ex in examples})
     analyzers: dict = {}
     if static_guard:
         analyzers = {
-            db_id: SQLAnalyzer(dataset.database(db_id).schema)
+            db_id: DialectAnalyzer(
+                dataset.database(db_id).schema, dialect=dialect
+            )
             for db_id in needed_dbs
         }
 
@@ -266,7 +281,7 @@ def evaluate_approach(
     def _executor() -> SQLiteExecutor:
         executor = getattr(thread_state, "executor", None)
         if executor is None:
-            executor = SQLiteExecutor()
+            executor = make_executor(dialect)
             for db_id in needed_dbs:
                 executor.register(dataset.database(db_id))
             thread_state.executor = executor

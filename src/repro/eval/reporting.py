@@ -74,7 +74,7 @@ def diagnostics_summary(report: EvaluationReport) -> dict:
     ):
         return {}
     checked = telemetry.guard_checked
-    return {
+    summary = {
         "guard_checked": checked,
         "guard_skipped": telemetry.guard_skipped,
         "executions_avoided_rate": (
@@ -82,6 +82,19 @@ def diagnostics_summary(report: EvaluationReport) -> dict:
         ),
         "rules": dict(telemetry.diagnostics),
     }
+    if telemetry.dialect_checked or telemetry.dialect_rejections:
+        summary["dialect"] = {
+            "name": report.dialect,
+            "checked": telemetry.dialect_checked,
+            "findings": telemetry.dialect_findings,
+            "rejections": telemetry.dialect_rejections,
+            "rules": {
+                rule: count
+                for rule, count in telemetry.diagnostics.items()
+                if rule.startswith("dlct.")
+            },
+        }
+    return summary
 
 
 def performance_table(report: EvaluationReport) -> str:

@@ -55,6 +55,12 @@ class RunTelemetry:
     repair_abandoned: dict = field(default_factory=dict)
     #: Per-rule static-analysis counts: ``{"sql.unknown-column": 4, ...}``.
     diagnostics: dict = field(default_factory=dict)
+    #: Dialect portability axis (docs/dialects.md): statements analyzed
+    #: against a non-SQLite target, ``dlct.*`` findings raised, and
+    #: executions the profile executor refused statically.
+    dialect_checked: int = 0
+    dialect_findings: int = 0
+    dialect_rejections: int = 0
     events: int = 0
 
     @property
@@ -115,6 +121,13 @@ class RunTelemetry:
             diagnostics=dict(
                 sorted(snapshot.labelled("analysis.rule").items())
             ),
+            dialect_checked=snapshot.counter_total("analysis.dialect.checked"),
+            dialect_findings=snapshot.counter_total(
+                "analysis.dialect.finding"
+            ),
+            dialect_rejections=snapshot.counter_total(
+                "executor.dialect_rejections"
+            ),
             events=events,
         )
 
@@ -150,5 +163,8 @@ class RunTelemetry:
             "repair_success_depth": self.repair_success_depth,
             "repair_abandoned": self.repair_abandoned,
             "diagnostics": self.diagnostics,
+            "dialect_checked": self.dialect_checked,
+            "dialect_findings": self.dialect_findings,
+            "dialect_rejections": self.dialect_rejections,
             "events": self.events,
         }

@@ -1,9 +1,14 @@
 """Database schema model, schema graph, and SQLite execution backend."""
 
+from repro.schema.dialect_backend import (
+    PostgresProfileExecutor,
+    make_executor,
+)
 from repro.schema.errorinfo import (
     ErrorInfo,
     exception_text,
     normalize_sqlite_error,
+    postgresify,
 )
 from repro.schema.graph import SchemaGraph
 from repro.schema.model import Column, Database, ForeignKey, Schema, Table
@@ -30,4 +35,7 @@ __all__ = [
     "create_sqlite",
     "exception_text",
     "normalize_sqlite_error",
+    "PostgresProfileExecutor",
+    "make_executor",
+    "postgresify",
 ]

@@ -270,7 +270,13 @@ class OrderItem(Node):
 
 @dataclass
 class SelectCore(Node):
-    """A single SELECT block without set operators."""
+    """A single SELECT block without set operators.
+
+    ``limit_form`` records which row-limit surface syntax the source
+    used: ``"limit"`` for ``LIMIT n`` (SQLite/MySQL/Postgres extension)
+    or ``"fetch"`` for the ANSI ``FETCH FIRST n ROWS ONLY``.  Both set
+    ``limit``; the renderer picks the target dialect's form regardless.
+    """
 
     items: list[SelectItem] = field(default_factory=list)
     distinct: bool = False
@@ -280,6 +286,7 @@ class SelectCore(Node):
     having: Optional[Node] = None
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
+    limit_form: str = "limit"
 
 
 @dataclass

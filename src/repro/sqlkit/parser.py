@@ -147,6 +147,21 @@ class _Parser:
             if tok.kind is not TokenKind.NUMBER:
                 raise SQLParseError("LIMIT requires a number", self.pos - 1)
             core.limit = int(float(tok.value))
+        elif self.at_keyword("FETCH"):
+            # ANSI row limiting: FETCH FIRST <n> ROWS ONLY.
+            self.advance()
+            self.expect_keyword("FIRST")
+            tok = self.advance()
+            if tok.kind is not TokenKind.NUMBER:
+                raise SQLParseError(
+                    "FETCH FIRST requires"  # noqa: no-inline-dialect-literal
+                    " a number",
+                    self.pos - 1,
+                )
+            core.limit = int(float(tok.value))
+            self.expect_keyword("ROWS")
+            self.expect_keyword("ONLY")
+            core.limit_form = "fetch"
         return core
 
     def parse_select_item(self) -> SelectItem:

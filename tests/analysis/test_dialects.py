@@ -1,0 +1,264 @@
+"""Unit tests for the dialect capability matrix and the dlct.* rules."""
+
+import pytest
+
+from repro.analysis import (
+    DIALECT_FATAL_RULES,
+    DIALECT_RULES,
+    PROFILES,
+    DialectAnalyzer,
+    SQLAnalyzer,
+    analyze_dialect,
+    fatal_diagnostics,
+    get_profile,
+)
+from repro.schema import Column, ForeignKey, Schema, Table
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return Schema(
+        db_id="shop",
+        tables=[
+            Table(
+                name="customer",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("name", "text"),
+                    Column("country", "text"),
+                ],
+            ),
+            Table(
+                name="account",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("user", "text"),
+                    Column("rank", "integer"),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("account", "id", "customer", "id")],
+    )
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+def dlct_of(diags):
+    return {d.rule for d in diags if d.rule.startswith("dlct.")}
+
+
+class TestProfiles:
+    def test_three_profiles(self):
+        assert set(PROFILES) == {"sqlite", "postgres", "mysql"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown dialect"):
+            get_profile("oracle")
+
+    def test_rule_ids_and_fatality(self):
+        assert len(DIALECT_RULES) == 10
+        assert DIALECT_FATAL_RULES < set(DIALECT_RULES)
+        assert "dlct.integer-division" not in DIALECT_FATAL_RULES
+
+    def test_profiles_declare_disjoint_surfaces(self):
+        assert PROFILES["mysql"].concat_operator is False
+        assert PROFILES["postgres"].strict_casts is True
+        assert PROFILES["sqlite"].strict_casts is False
+        assert PROFILES["postgres"].preferred_limit == "fetch"
+
+
+class TestSqliteTargetIsBaseline:
+    """With the native target the analyzer adds nothing to sqlcheck."""
+
+    def test_same_rules_as_base_analyzer(self, schema):
+        sql = "SELECT nme FROM customer WHERE country = 3"
+        base = SQLAnalyzer(schema).analyze(sql)
+        full = DialectAnalyzer(schema, dialect="sqlite").analyze(sql)
+        assert [d.rule for d in full] == [d.rule for d in base]
+
+    def test_reserved_on_other_dialects_is_clean_here(self, schema):
+        diags = analyze_dialect("SELECT user FROM account", schema, "sqlite")
+        assert dlct_of(diags) == set()
+
+
+class TestLimitForm:
+    def test_fetch_first_fatal_on_mysql(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer FETCH FIRST 2 ROWS ONLY",
+            schema, "mysql",
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.limit-form"]
+        assert diag.severity == "error"
+        assert diag.fix_hint["rewrite"] == "LIMIT 2"
+        assert "dlct.limit-form" in rules_of(fatal_diagnostics(diags))
+
+    def test_limit_warns_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer LIMIT 2", schema, "postgres"
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.limit-form"]
+        assert diag.severity == "warning"
+        assert fatal_diagnostics(diags) == []
+
+    def test_fetch_first_clean_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer FETCH FIRST 2 ROWS ONLY",
+            schema, "postgres",
+        )
+        assert dlct_of(diags) == set()
+
+
+class TestIdentifiers:
+    def test_reserved_identifier_on_postgres(self, schema):
+        diags = analyze_dialect("SELECT user FROM account", schema, "postgres")
+        (diag,) = [d for d in diags if d.rule == "dlct.reserved-identifier"]
+        assert diag.fix_hint["rewrite"] == '"user"'
+        assert diag.span is not None
+
+    def test_quoted_reserved_identifier_is_fine(self, schema):
+        diags = analyze_dialect(
+            'SELECT "user" FROM account', schema, "postgres"
+        )
+        assert dlct_of(diags) == set()
+
+    def test_backtick_quoting_flagged_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT `name` FROM customer", schema, "postgres"
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.identifier-quoting"]
+        assert diag.fix_hint["rewrite"] == '"name"'
+
+    def test_bracket_quoting_flagged_on_mysql(self, schema):
+        diags = analyze_dialect("SELECT [name] FROM customer", schema, "mysql")
+        assert "dlct.identifier-quoting" in dlct_of(diags)
+
+    def test_rank_reserved_on_mysql_only(self, schema):
+        sql = "SELECT rank FROM account"
+        assert "dlct.reserved-identifier" in dlct_of(
+            analyze_dialect(sql, schema, "mysql")
+        )
+        assert dlct_of(analyze_dialect(sql, schema, "postgres")) == set()
+
+
+class TestExpressions:
+    def test_concat_operator_fatal_on_mysql(self, schema):
+        diags = analyze_dialect(
+            "SELECT name || country FROM customer", schema, "mysql"
+        )
+        assert "dlct.string-concat" in rules_of(fatal_diagnostics(diags))
+
+    def test_numeric_concat_fatal_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT id || 3 FROM customer", schema, "postgres"
+        )
+        assert "dlct.string-concat" in dlct_of(diags)
+
+    def test_text_concat_clean_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT name || country FROM customer", schema, "postgres"
+        )
+        assert dlct_of(diags) == set()
+
+    def test_integer_division_warns_on_mysql(self, schema):
+        diags = analyze_dialect(
+            "SELECT id / 2 FROM customer", schema, "mysql"
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.integer-division"]
+        assert diag.severity == "warning"
+
+    def test_backslash_literal_warns_on_mysql(self, schema):
+        diags = analyze_dialect(
+            r"SELECT name FROM customer WHERE country = 'a\b'",
+            schema, "mysql",
+        )
+        assert "dlct.string-escape" in dlct_of(diags)
+
+
+class TestFunctions:
+    def test_ifnull_missing_on_postgres_with_rewrite(self, schema):
+        diags = analyze_dialect(
+            "SELECT IFNULL(name, '?') FROM customer", schema, "postgres"
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.function-availability"]
+        assert diag.fix_hint["rewrite"] == "COALESCE(a, b)"
+        assert diag.fix_hint["error_class"] == "function_hallucination"
+
+    def test_strftime_missing_on_mysql(self, schema):
+        diags = analyze_dialect(
+            "SELECT STRFTIME('%Y', name) FROM customer", schema, "mysql"
+        )
+        assert "dlct.function-availability" in dlct_of(diags)
+
+    def test_base_unknown_function_dropped_when_target_has_it(self, schema):
+        """CONCAT is hallucinated on SQLite but real on Postgres — the
+        dialect layer must not double-report what the target allows."""
+        sql = "SELECT CONCAT(name, country) FROM customer"
+        base = SQLAnalyzer(schema).analyze(sql)
+        assert "sql.unknown-function" in rules_of(base)
+        pg = analyze_dialect(sql, schema, "postgres")
+        assert "sql.unknown-function" not in rules_of(pg)
+        assert dlct_of(pg) == set()
+
+    def test_negative_substr_start_warns_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT SUBSTR(name, -1) FROM customer", schema, "postgres"
+        )
+        (diag,) = [d for d in diags if d.rule == "dlct.substr-args"]
+        assert diag.severity == "warning"
+
+
+class TestStrictCasts:
+    def test_integer_column_vs_word_string(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer WHERE id = 'abc'", schema, "postgres"
+        )
+        assert "dlct.implicit-cast" in rules_of(fatal_diagnostics(diags))
+
+    def test_integer_column_vs_numeric_string_is_castable(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer WHERE id = '3'", schema, "postgres"
+        )
+        assert "dlct.implicit-cast" not in dlct_of(diags)
+
+    def test_text_column_vs_number(self, schema):
+        diags = analyze_dialect(
+            "SELECT name FROM customer WHERE country = 3", schema, "postgres"
+        )
+        assert "dlct.implicit-cast" in dlct_of(diags)
+
+    def test_sqlite_tolerates_both(self, schema):
+        for sql in (
+            "SELECT name FROM customer WHERE id = 'abc'",
+            "SELECT name FROM customer WHERE country = 3",
+        ):
+            assert dlct_of(analyze_dialect(sql, schema, "sqlite")) == set()
+
+
+class TestHavingAlias:
+    def test_alias_in_having_fatal_on_postgres(self, schema):
+        diags = analyze_dialect(
+            "SELECT country, COUNT(*) AS n FROM customer "
+            "GROUP BY country HAVING n > 1",
+            schema, "postgres",
+        )
+        assert "dlct.having-alias" in rules_of(fatal_diagnostics(diags))
+
+    def test_aggregate_in_having_is_fine(self, schema):
+        diags = analyze_dialect(
+            "SELECT country, COUNT(*) AS n FROM customer "
+            "GROUP BY country HAVING COUNT(*) > 1",
+            schema, "postgres",
+        )
+        assert dlct_of(diags) == set()
+
+    def test_real_column_shadowing_alias_not_flagged(self, schema):
+        diags = analyze_dialect(
+            "SELECT country AS name, COUNT(*) FROM customer "
+            "GROUP BY country HAVING name = 'UK'",
+            schema, "postgres",
+        )
+        assert "dlct.having-alias" not in dlct_of(diags)

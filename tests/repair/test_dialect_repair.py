@@ -1,0 +1,107 @@
+"""The repair loop on the Postgres execution axis.
+
+The acceptance bar for the dialect axis: a statement the target engine
+refuses enters the same guard→execute→repair machinery as on SQLite,
+but every error the loop sees — and every error line the repair prompt
+carries — speaks the target dialect's vocabulary.
+"""
+
+import pytest
+
+from repro.core.adaption import DatabaseAdapter
+from repro.llm.interface import LLMResponse
+from repro.repair import RepairLoop
+from repro.repair.formatter import failure_info
+from repro.schema import make_executor
+
+
+class ScriptedLLM:
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.prompts = []
+
+    def complete(self, request):
+        self.prompts.append(request.prompt)
+        return LLMResponse(
+            texts=[self.script.pop(0)], prompt_tokens=10, output_tokens=5
+        )
+
+
+SCHEMA_TEXT = (
+    "Database: shop\n"
+    "Table customer (id:integer*, name:text, country:text)\n"
+    "Table orders (id:integer*, customer_id:integer, total:real)"
+)
+
+
+@pytest.fixture
+def executor():
+    with make_executor("postgres") as ex:
+        yield ex
+
+
+def make_loop(llm, executor, max_rounds=2):
+    adapter = DatabaseAdapter(executor, dialect="postgres")
+    return RepairLoop(
+        llm=llm, executor=executor, adapter=adapter, max_rounds=max_rounds
+    )
+
+
+def run(loop, sql, shop):
+    return loop.run(
+        sql,
+        shop,
+        schema_text=SCHEMA_TEXT,
+        compact_schema_text=SCHEMA_TEXT,
+        question="List all customer names",
+    )
+
+
+class TestFailureVocabulary:
+    def test_unknown_table_failure_is_postgres_worded(self, executor, shop):
+        result = executor.execute(
+            executor.register(shop), "SELECT x FROM ghost"
+        )
+        info = failure_info(result)
+        assert info.code == "undefined-table"
+        assert 'relation "ghost" does not exist' in info.render()
+
+    def test_static_rejection_carries_dialect_code(self, executor, shop):
+        result = executor.execute(
+            executor.register(shop), "SELECT IFNULL(name, '?') FROM customer"
+        )
+        info = failure_info(result)
+        assert info.code == "undefined-function"
+        assert info.category == "schema"
+
+
+class TestRepairLoopOnPostgres:
+    def test_loop_heals_with_pg_error_in_prompt(self, executor, shop):
+        llm = ScriptedLLM(["SELECT name FROM customer"])
+        loop = make_loop(llm, executor)
+        report = run(loop, "SELECT nope FROM customer", shop)
+        assert report.triggered
+        assert report.sql == "SELECT name FROM customer"
+        (prompt,) = llm.prompts
+        assert 'column "nope" does not exist' in prompt
+        assert "no such column" not in prompt
+
+    def test_statically_rejected_sql_enters_the_loop(self, executor, shop):
+        llm = ScriptedLLM(["SELECT COALESCE(name, '?') FROM customer"])
+        loop = make_loop(llm, executor)
+        report = run(loop, "SELECT IFNULL(name, '?') FROM customer", shop)
+        assert report.triggered
+        assert report.sql == "SELECT COALESCE(name, '?') FROM customer"
+        (prompt,) = llm.prompts
+        assert "does not exist on postgres" in prompt
+
+    def test_healthy_fetch_first_sql_never_triggers(self, executor, shop):
+        llm = ScriptedLLM([])
+        loop = make_loop(llm, executor)
+        report = run(
+            loop, "SELECT name FROM customer FETCH FIRST 1 ROWS ONLY", shop
+        )
+        assert not report.triggered
+        assert llm.prompts == []

@@ -1,0 +1,159 @@
+"""Tests for the simulated Postgres execution profile."""
+
+import pytest
+
+from repro.obs import Observer
+from repro.schema import (
+    Column,
+    Database,
+    ForeignKey,
+    PostgresProfileExecutor,
+    Schema,
+    SQLiteExecutor,
+    Table,
+    make_executor,
+    postgresify,
+)
+from repro.schema.errorinfo import ErrorInfo
+
+
+@pytest.fixture
+def db():
+    schema = Schema(
+        db_id="shop",
+        tables=[
+            Table(
+                name="customer",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("name", "text"),
+                    Column("country", "text"),
+                ],
+            ),
+            Table(
+                name="account",
+                primary_key="id",
+                columns=[
+                    Column("id", "integer"),
+                    Column("user", "text"),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("account", "id", "customer", "id")],
+    )
+    return Database(
+        schema=schema,
+        rows={
+            "customer": [(1, "Ada", "UK"), (2, "Bo", "USA"), (3, "Cy", "UK")],
+            "account": [(1, "ada"), (2, "bo")],
+        },
+    )
+
+
+class TestFactory:
+    def test_sqlite_is_plain_backend(self):
+        executor = make_executor("sqlite")
+        assert type(executor) is SQLiteExecutor
+
+    def test_postgres_is_profile_backend(self):
+        executor = make_executor("postgres")
+        assert isinstance(executor, PostgresProfileExecutor)
+        assert executor.dialect == "postgres"
+
+    def test_mysql_has_no_executor(self):
+        with pytest.raises(ValueError, match="no execution profile"):
+            make_executor("mysql")
+
+
+class TestRowParity:
+    def test_legal_sql_rows_match_sqlite(self, db):
+        sql = "SELECT name FROM customer WHERE country = 'UK' ORDER BY name"
+        lite = SQLiteExecutor()
+        pg = make_executor("postgres")
+        assert (
+            pg.execute(pg.register(db), sql).rows
+            == lite.execute(lite.register(db), sql).rows
+        )
+
+    def test_fetch_first_lowers_and_executes(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(
+            pg.register(db),
+            "SELECT name FROM customer ORDER BY name FETCH FIRST 2 ROWS ONLY",
+        )
+        assert result.ok
+        assert result.rows == [("Ada",), ("Bo",)]
+
+
+class TestStaticRejection:
+    def test_backtick_quoting_rejected_as_syntax(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(pg.register(db), "SELECT `name` FROM customer")
+        assert not result.ok
+        assert result.info.code == "syntax-error"
+        assert result.info.category == "syntax"
+
+    def test_reserved_identifier_rejected(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(pg.register(db), "SELECT user FROM account")
+        assert not result.ok
+        assert result.info.code == "syntax-error"
+        assert result.info.identifier == "user"
+
+    def test_missing_function_rejected_as_undefined(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(
+            pg.register(db), "SELECT IFNULL(name, '?') FROM customer"
+        )
+        assert not result.ok
+        assert result.info.code == "undefined-function"
+
+    def test_rejections_counted(self, db):
+        observer = Observer(seed=0)
+        with observer.activate():
+            pg = make_executor("postgres")
+            pg.execute(pg.register(db), "SELECT `name` FROM customer")
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.counter_total("executor.dialect_rejections") == 1
+
+
+class TestDelegatedErrorsSpeakPostgres:
+    def test_unknown_table_becomes_undefined_relation(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(pg.register(db), "SELECT x FROM ghost")
+        assert not result.ok
+        assert result.info.code == "undefined-table"
+        assert 'relation "ghost" does not exist' in result.error
+
+    def test_unknown_column_becomes_undefined_column(self, db):
+        pg = make_executor("postgres")
+        result = pg.execute(pg.register(db), "SELECT ghost FROM customer")
+        assert not result.ok
+        assert result.info.code == "undefined-column"
+        assert 'column "ghost" does not exist' in result.error
+
+    def test_sqlite_backend_message_unchanged(self, db):
+        lite = SQLiteExecutor()
+        result = lite.execute(lite.register(db), "SELECT x FROM ghost")
+        assert result.info.code == "no-such-table"
+        assert "no such table" in result.error
+
+
+class TestPostgresify:
+    def test_mapped_code_rewords(self):
+        info = ErrorInfo(
+            code="no-such-table", category="schema",
+            message="no such table: t", identifier="t",
+        )
+        mapped = postgresify(info)
+        assert mapped.code == "undefined-table"
+        assert mapped.message == 'relation "t" does not exist'
+        assert mapped.identifier == "t"
+
+    def test_engine_neutral_codes_pass_through(self):
+        info = ErrorInfo(
+            code="statement-timeout", category="resource",
+            message="statement timeout after 1s",
+        )
+        assert postgresify(info) is info

@@ -1,0 +1,86 @@
+"""Dialect-parameterized rendering: quoting, LIMIT form, concat."""
+
+import pytest
+
+from repro.sqlkit import parse_sql, render_sql
+from repro.sqlkit.render import DIALECTS
+
+
+class TestDialectSurface:
+    def test_known_dialects(self):
+        assert DIALECTS == ("mysql", "postgres", "sqlite")
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError, match="unknown dialect"):
+            render_sql(parse_sql("SELECT a FROM t"), "oracle")
+
+    def test_default_is_sqlite(self):
+        node = parse_sql("SELECT a FROM t LIMIT 3")
+        assert render_sql(node) == render_sql(node, "sqlite")
+
+
+class TestPostgresRendering:
+    def test_limit_becomes_fetch_first(self):
+        sql = "SELECT a FROM t ORDER BY a DESC LIMIT 3"
+        assert render_sql(parse_sql(sql), "postgres") == (
+            "SELECT a FROM t ORDER BY a DESC FETCH FIRST 3 ROWS ONLY"
+        )
+
+    def test_reserved_identifier_quoted(self):
+        sql = "SELECT user FROM t"
+        assert render_sql(parse_sql(sql), "postgres") == (
+            'SELECT "user" FROM t'
+        )
+
+    def test_unreserved_identifier_untouched(self):
+        sql = "SELECT name FROM t"
+        assert render_sql(parse_sql(sql), "postgres") == sql
+
+    def test_concat_operator_kept(self):
+        sql = "SELECT a || b FROM t"
+        assert render_sql(parse_sql(sql), "postgres") == sql
+
+
+class TestMySQLRendering:
+    def test_reserved_identifier_backtick_quoted(self):
+        sql = "SELECT rank FROM t"
+        assert render_sql(parse_sql(sql), "mysql") == "SELECT `rank` FROM t"
+
+    def test_concat_operator_lowered_to_call(self):
+        sql = "SELECT a || b FROM t"
+        assert render_sql(parse_sql(sql), "mysql") == (
+            "SELECT CONCAT(a, b) FROM t"
+        )
+
+    def test_chained_concat_flattens(self):
+        sql = "SELECT a || ' ' || b FROM t"
+        assert render_sql(parse_sql(sql), "mysql") == (
+            "SELECT CONCAT(a, ' ', b) FROM t"
+        )
+
+    def test_limit_form_kept(self):
+        sql = "SELECT a FROM t LIMIT 5"
+        assert render_sql(parse_sql(sql), "mysql") == sql
+
+
+class TestFetchFirstRoundTrip:
+    def test_fetch_first_parses_to_limit(self):
+        query = parse_sql("SELECT a FROM t FETCH FIRST 4 ROWS ONLY")
+        assert query.core.limit == 4
+        assert query.core.limit_form == "fetch"
+
+    def test_fetch_form_survives_postgres_round_trip(self):
+        sql = "SELECT a FROM t FETCH FIRST 4 ROWS ONLY"
+        assert render_sql(parse_sql(sql), "postgres") == sql
+
+    def test_fetch_form_lowers_to_sqlite_limit(self):
+        sql = "SELECT a FROM t FETCH FIRST 4 ROWS ONLY"
+        assert render_sql(parse_sql(sql), "sqlite") == (
+            "SELECT a FROM t LIMIT 4"
+        )
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_render_is_fixpoint_per_dialect(self, dialect):
+        sql = "SELECT user, rank FROM t ORDER BY rank LIMIT 2"
+        once = render_sql(parse_sql(sql), dialect)
+        assert render_sql(parse_sql(once), dialect) == once
