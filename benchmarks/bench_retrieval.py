@@ -1,0 +1,222 @@
+"""The retrieval tier — selection latency and accuracy gates.
+
+Algorithm 1 pops every cell of the preferential matching matrix until
+exhaustion, so raw selection cost grows with the number of automaton
+matches — linear in pool size once skeletons repeat.  The embedding
+pre-filter caps each cell at ``retrieval_candidates`` demos, trading a
+cheap coarse-bucket query for the big-pool scan.
+
+Gates (ISSUE): ``prefilter`` is ≥2x faster than unfiltered selection at
+a 10k-demo pool; ``retrieval=off`` is byte-identical to a default build
+(same SQL, same EM/EX/TS); ``prefilter`` does not regress EM/EX/TS on
+the bench corpus, and with a full candidate budget it is exactly equal.
+All measured figures land in results.json under ``retrieval``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import print_table
+from benchmarks.conftest import LLM_SEED
+from repro import api
+from repro.core.automaton import AutomatonIndex
+from repro.core.config import PurpleConfig
+from repro.core.selection import select_demonstrations
+from repro.core.skeleton_prediction import PredictedSkeleton
+from repro.eval import evaluate_approach
+from repro.llm import CHATGPT, MockLLM
+from repro.retrieval import EmbeddingIndex
+from repro.sqlkit.skeleton import skeleton_tokens
+from repro.store import clear_shared_stores
+
+POOL_SIZES = (1_000, 5_000, 10_000)
+QUERIES = 8
+REPEATS = 2
+CANDIDATES = PurpleConfig().retrieval_candidates
+SUBSET = 24
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def best_of(fn, repeats=REPEATS):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best, result = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def make_pool(train, size):
+    """Cycle the bench train split up to ``size`` demos.
+
+    SQL repeats verbatim (fattening the automaton match lists exactly
+    like a production pool with recurring skeletons), while questions
+    get a variant suffix so their embeddings stay distinguishable.
+    """
+    examples = list(train)
+    sqls, questions = [], []
+    for i in range(size):
+        ex = examples[i % len(examples)]
+        sqls.append(ex.sql)
+        questions.append(f"{ex.question} (variant {i // len(examples)})")
+    return sqls, questions
+
+
+@pytest.fixture(scope="module")
+def probes(corpus):
+    """Query workload shaped like production's select stage: each dev
+    question arrives with ``top_k_skeletons`` candidate skeletons (the
+    gold one first, two competitors after), exactly as the skeleton
+    predictor hands them to Algorithm 1."""
+    dev = list(corpus.dev)
+    top_k = PurpleConfig().top_k_skeletons
+    out = []
+    for i in range(QUERIES):
+        skeletons = [
+            PredictedSkeleton(
+                tokens=tuple(skeleton_tokens(dev[i + rank * QUERIES].sql)),
+                probability=1.0 / (rank + 1),
+            )
+            for rank in range(top_k)
+        ]
+        out.append((dev[i].question, skeletons))
+    return out
+
+
+@pytest.fixture(scope="module")
+def timings(corpus, probes):
+    config = PurpleConfig()
+    rows = []
+    for size in POOL_SIZES:
+        sqls, questions = make_pool(corpus.train, size)
+        automaton = AutomatonIndex.build(sqls)
+        embeddings = EmbeddingIndex.build(
+            (q, tuple(skeleton_tokens(sql)))
+            for q, sql in zip(questions, sqls)
+        )
+
+        def run_baseline():
+            return [
+                select_demonstrations(automaton, skeletons, config)
+                for _, skeletons in probes
+            ]
+
+        def run_prefilter():
+            picks = []
+            for question, skeletons in probes:
+                proposed = embeddings.candidates(
+                    question, skeletons[0].tokens, CANDIDATES
+                )
+                picks.append(select_demonstrations(
+                    automaton, skeletons, config,
+                    candidates=frozenset(proposed),
+                ))
+            return picks
+
+        base_s, base_picks = best_of(run_baseline)
+        pre_s, pre_picks = best_of(run_prefilter)
+        # The filter only drops — it never invents a selection.
+        for base, pre in zip(base_picks, pre_picks):
+            assert pre and set(pre) <= set(base)
+        rows.append({
+            "pool_size": size,
+            "queries": QUERIES,
+            "baseline_s": round(base_s, 4),
+            "prefilter_s": round(pre_s, 4),
+            "speedup": round(base_s / pre_s, 2),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def equivalence(corpus, suites):
+    """Default vs off vs prefilter PURPLE over the same dev subset."""
+    clear_shared_stores()
+
+    def build(**overrides):
+        return api.create(
+            "purple", llm=MockLLM(CHATGPT, seed=LLM_SEED),
+            train=corpus.train, consistency_n=3, **overrides,
+        )
+
+    approaches = {
+        "default": build(),
+        "off": build(retrieval="off"),
+        "prefilter": build(retrieval="prefilter"),
+        "prefilter_full": build(
+            retrieval="prefilter",
+            retrieval_candidates=len(list(corpus.train)),
+        ),
+    }
+    reports = {
+        name: evaluate_approach(
+            approach, corpus.dev, test_suites=suites, limit=SUBSET,
+            workers=WORKERS,
+        )
+        for name, approach in approaches.items()
+    }
+    clear_shared_stores()
+    return reports
+
+
+def test_prefilter_selection_speedup(timings, record):
+    largest = timings[-1]
+    print_table(
+        f"Retrieval pre-filter — selection latency, {QUERIES} queries "
+        f"(best of {REPEATS}, gate ≥{MIN_SPEEDUP:.0f}x at "
+        f"n={largest['pool_size']})",
+        ["Pool", "Baseline s", "Prefilter s", "Speedup"],
+        [
+            (r["pool_size"], r["baseline_s"], r["prefilter_s"],
+             f"{r['speedup']}x")
+            for r in timings
+        ],
+    )
+    assert largest["speedup"] >= MIN_SPEEDUP, timings
+    record("retrieval", {
+        "queries": QUERIES,
+        "repeats": REPEATS,
+        "candidates": CANDIDATES,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "pools": timings,
+    })
+
+
+def test_off_is_byte_identical(equivalence, record):
+    """``retrieval="off"`` changes nothing — SQL-for-SQL."""
+    default, off = equivalence["default"], equivalence["off"]
+    assert off.outcomes == default.outcomes
+    assert [o.predicted_sql for o in off.outcomes] == (
+        [o.predicted_sql for o in default.outcomes]
+    )
+    for metric in ("em", "ex", "ts"):
+        assert getattr(off, metric) == getattr(default, metric), metric
+    record("retrieval_equivalence", {
+        "tasks": SUBSET,
+        "off_identical": True,
+        "em": off.em,
+        "ex": off.ex,
+        "ts": off.ts,
+    })
+
+
+def test_prefilter_does_not_regress(equivalence, record):
+    """Non-regression with the default candidate budget; exact equality
+    when the budget covers the whole pool (the filter keeps everything)."""
+    off, pre = equivalence["off"], equivalence["prefilter"]
+    full = equivalence["prefilter_full"]
+    for metric in ("em", "ex", "ts"):
+        assert getattr(pre, metric) >= getattr(off, metric), metric
+        assert getattr(full, metric) == getattr(off, metric), metric
+    assert full.outcomes == off.outcomes
+    record("retrieval_accuracy", {
+        "tasks": SUBSET,
+        "candidates": CANDIDATES,
+        "off": {"em": off.em, "ex": off.ex, "ts": off.ts},
+        "prefilter": {"em": pre.em, "ex": pre.ex, "ts": pre.ts},
+        "prefilter_full_budget_identical": True,
+    })

@@ -268,14 +268,21 @@ def _stdlib_random(ctx: FileContext):
 
 
 #: Packages whose public API surface must be self-documenting: the
-#: paper-facing core pipeline and the persistent demonstration store.
-_DOCSTRING_ROOTS = ("repro/core", "repro/store")
+#: paper-facing core pipeline, the persistent demonstration store, the
+#: retrieval tier, and the evaluation harness.
+_DOCSTRING_ROOTS = (
+    "repro/core",
+    "repro/store",
+    "repro/retrieval",
+    "repro/eval",
+)
 
 
 @rule(
     "py.missing-docstring",
-    "public functions in repro/core and repro/store are the paper-facing "
-    "API surface; each needs a non-empty docstring",
+    "public functions in repro/core, repro/store, repro/retrieval, and "
+    "repro/eval are the paper-facing API surface; each needs a non-empty "
+    "docstring",
 )
 def _missing_docstring(ctx: FileContext):
     if not str(ctx.path).startswith(_DOCSTRING_ROOTS):

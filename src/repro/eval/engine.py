@@ -55,6 +55,7 @@ def map_ordered(
     ]
 
     def run_one(index: int):
+        """Run one item under its lane/observer; returns (value, timing)."""
         stages: dict = {}
         observed = (
             observer.task(lanes[index]) if observer is not None else nullcontext()

@@ -1,0 +1,42 @@
+"""Zero-dependency retrieval tier: hashed embeddings + coarse buckets.
+
+See docs/retrieval.md for the full design.  Public surface:
+
+* :func:`repro.retrieval.features.embed` and friends — hashed
+  bag-of-features sparse vectors over questions and skeletons;
+* :class:`EmbeddingIndex` — IVF-style bucketed similarity search with
+  exact incremental ``add()`` parity, persisted by :mod:`repro.store`;
+* :func:`fused_order` — similarity × automaton-rank re-ranking used by
+  ``retrieval=fused``.
+"""
+
+from repro.retrieval.features import (
+    DEFAULT_DIM,
+    cosine,
+    embed,
+    hash_feature,
+    question_features,
+    question_tokens,
+    skeleton_features,
+)
+from repro.retrieval.fuse import fused_order, fused_score
+from repro.retrieval.index import (
+    DEFAULT_PROBES,
+    RETRIEVAL_SCHEMA_VERSION,
+    EmbeddingIndex,
+)
+
+__all__ = [
+    "DEFAULT_DIM",
+    "DEFAULT_PROBES",
+    "RETRIEVAL_SCHEMA_VERSION",
+    "EmbeddingIndex",
+    "cosine",
+    "embed",
+    "fused_order",
+    "fused_score",
+    "hash_feature",
+    "question_features",
+    "question_tokens",
+    "skeleton_features",
+]

@@ -1,0 +1,145 @@
+"""Hashed bag-of-features embeddings over questions and skeletons.
+
+The retrieval tier (docs/retrieval.md) needs a similarity signal with
+zero dependencies and bit-reproducible output, so vectors here are
+plain ``{dimension: weight}`` dicts produced by **feature hashing**:
+every textual feature is digested with blake2b, the digest picks a
+dimension (``h % dim``) and a sign (one digest bit), and collisions
+cancel statistically instead of corrupting neighbours — the classic
+hashing-trick construction, numpy-free.
+
+Two feature families feed one vector, mirroring the two retrieval
+signals PURPLE fuses:
+
+* **question features** — lowercase word unigrams and adjacent bigrams
+  of the NL question (the DAIL-SQL-style similarity signal);
+* **skeleton features** — token trigrams (with ``^``/``$`` sentinels)
+  plus unigrams of the detail-level skeleton sequence (the logical
+  composition signal the automaton matches exactly).
+
+Vectors are L2-normalized, so the dot product of two embeddings is
+their cosine similarity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+
+#: Default embedding width.  256 keeps sparse vectors ~40 entries for
+#: typical question+skeleton pairs while keeping collisions rare.
+DEFAULT_DIM = 256
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def question_tokens(question: str) -> list:
+    """Lowercase word tokens of an NL question.
+
+    :param question: the natural-language question text.
+    :return: alphanumeric tokens, lowercased, in order.
+    """
+    return _WORD.findall(question.lower())
+
+
+def question_features(question: str) -> list:
+    """Hashable features of the question: word unigrams + bigrams.
+
+    :param question: the natural-language question text.
+    :return: feature strings, each namespaced with a ``q:``/``qb:``
+        prefix so question and skeleton features never collide by text.
+    """
+    tokens = question_tokens(question)
+    features = [f"q:{t}" for t in tokens]
+    features.extend(
+        f"qb:{a}\x1f{b}" for a, b in zip(tokens, tokens[1:])
+    )
+    return features
+
+
+def skeleton_features(skeleton: tuple) -> list:
+    """Hashable features of a detail-level skeleton token sequence.
+
+    Trigrams over the sentinel-padded sequence capture local operator
+    composition (the thing PURPLE's automaton matches exactly);
+    unigrams keep isolated operators visible even when no trigram
+    repeats across demonstrations.
+
+    :param skeleton: skeleton tokens as produced by
+        :func:`repro.sqlkit.skeleton.skeleton_tokens`.
+    :return: feature strings namespaced with ``s:``/``s3:`` prefixes.
+    """
+    tokens = [str(t) for t in skeleton]
+    features = [f"s:{t}" for t in tokens]
+    padded = ["^"] + tokens + ["$"]
+    features.extend(
+        "s3:" + "\x1f".join(padded[i:i + 3])
+        for i in range(len(padded) - 2)
+    )
+    return features
+
+
+def hash_feature(feature: str, dim: int) -> tuple:
+    """Map one feature to its hashed ``(dimension, sign)`` pair.
+
+    blake2b keyed by the feature text alone — no per-process salt — so
+    the same feature lands on the same signed dimension in every
+    process forever (embeddings persisted by :mod:`repro.store` must
+    match embeddings computed live).
+
+    :param feature: namespaced feature string.
+    :param dim: embedding width.
+    :return: ``(dimension in [0, dim), sign in {-1.0, +1.0})``.
+    """
+    digest = hashlib.blake2b(
+        feature.encode("utf-8"), digest_size=8
+    ).digest()
+    value = int.from_bytes(digest, "big")
+    dimension = (value >> 1) % dim
+    sign = 1.0 if value & 1 else -1.0
+    return dimension, sign
+
+
+def embed(question, skeleton, dim: int = DEFAULT_DIM) -> dict:
+    """One L2-normalized sparse vector for a (question, skeleton) pair.
+
+    Either side may be ``None``/empty — a skeleton-only embedding is
+    still meaningful (and is what a pool built without questions would
+    fall back to) — but at least one feature must survive for the
+    vector to be non-empty.
+
+    :param question: NL question text, or ``None``.
+    :param skeleton: detail-level skeleton token sequence, or ``None``.
+    :param dim: embedding width (hash modulus).
+    :return: sparse ``{dimension: weight}`` dict with unit L2 norm;
+        empty when no features were produced.
+    """
+    accumulated: dict = {}
+    features = []
+    if question:
+        features.extend(question_features(question))
+    if skeleton:
+        features.extend(skeleton_features(tuple(skeleton)))
+    for feature in features:
+        dimension, sign = hash_feature(feature, dim)
+        accumulated[dimension] = accumulated.get(dimension, 0.0) + sign
+    # Signed collisions can cancel a dimension to exactly 0.0; drop it
+    # so sparsity (and the serialized form) stays canonical.
+    vector = {d: w for d, w in accumulated.items() if w != 0.0}
+    norm = math.sqrt(sum(w * w for w in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {d: w / norm for d, w in vector.items()}
+
+
+def cosine(a: dict, b: dict) -> float:
+    """Dot product of two sparse vectors (cosine when both are unit).
+
+    :param a: sparse vector.
+    :param b: sparse vector.
+    :return: the similarity; 0.0 when either vector is empty.
+    """
+    if len(b) < len(a):
+        a, b = b, a
+    return sum(w * b.get(d, 0.0) for d, w in a.items())

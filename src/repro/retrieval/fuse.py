@@ -1,0 +1,46 @@
+"""Fused scoring: question/skeleton similarity × automaton match rank.
+
+``retrieval=fused`` keeps the automaton's preferential matching order as
+the backbone (it encodes PURPLE's logical-synthesis signal) but lets the
+embedding similarity re-rank within it: each demonstration the automaton
+would select gets the score ``similarity × 1 / (1 + rank)``, where
+``rank`` is its position in the automaton's own selection order.  A
+highly similar demonstration can therefore climb past a slightly
+earlier, dissimilar one, while the harmonic rank weight stops pure
+similarity from overturning the skeleton hierarchy wholesale — the
+fusion the paper's comparison against DAIL-SQL motivates.
+"""
+
+from __future__ import annotations
+
+
+def fused_score(similarity: float, rank: int) -> float:
+    """The fused score of one selected demonstration.
+
+    :param similarity: cosine similarity in roughly ``[-1, 1]``.
+    :param rank: 0-based position in the automaton's selection order.
+    :return: ``similarity * 1 / (1 + rank)``.
+    """
+    return similarity / (1.0 + rank)
+
+
+def fused_order(demo_order, sims: dict) -> list:
+    """Re-rank an automaton selection by fused score.
+
+    The sort is stable on the original rank: equal fused scores keep
+    the automaton's order, and demonstrations missing a similarity
+    entry score as 0.0 similarity (they sink below any positively
+    similar demo but stay mutually ordered).
+
+    :param demo_order: demo indices in automaton selection order.
+    :param sims: ``{demo_index: similarity}`` (e.g. from
+        :meth:`repro.retrieval.EmbeddingIndex.similarities`).
+    :return: the same indices re-ranked by fused score descending,
+        ties broken by original rank ascending.
+    """
+    scored = [
+        (-fused_score(sims.get(demo, 0.0), rank), rank, demo)
+        for rank, demo in enumerate(demo_order)
+    ]
+    scored.sort()
+    return [demo for _, _, demo in scored]

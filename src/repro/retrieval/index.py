@@ -1,0 +1,366 @@
+"""The embedding index: multi-probe sign-LSH buckets over hashed vectors.
+
+An :class:`EmbeddingIndex` holds one sparse embedding per demonstration
+(:func:`repro.retrieval.features.embed` over the demo's question and
+detail skeleton) and answers top-M similarity queries without scoring
+the whole pool: every vector is assigned to one **coarse bucket** — the
+sign pattern of its projections onto :data:`_PLANES` pseudo-random
+hyperplanes, each plane's per-dimension signs derived from a blake2b
+hash — and a query probes buckets in multi-probe order: its own sign
+pattern first, then patterns reached by flipping the planes whose
+projections sit closest to zero (the cheapest sign flips, i.e. the most
+plausible hash collisions), scoring only the gathered candidates by
+exact cosine.  A bounded sequential fallback guarantees a full result
+even for adversarial queries, and everything (plane signs, probe order,
+tie-breaks, the scan cap) is deterministic so selections built on top
+stay byte-reproducible.
+
+Incremental :meth:`add` is **exact**: vectors are independent and
+buckets append in pool order, so adding demonstrations one at a time
+produces the same index a full :meth:`build` over the extended pool
+would — the same contract :class:`repro.store.DemoStore` keeps for the
+automaton, and the property the store round-trip tests pin.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from hashlib import blake2b
+from typing import Optional
+
+from repro.retrieval.features import DEFAULT_DIM, cosine, embed
+
+#: Version of the embedding scheme baked into persisted vectors.  Bump
+#: whenever :func:`repro.retrieval.features.embed` (tokenization,
+#: hashing, normalization) changes behaviour — persisted retrieval
+#: sections are then stale by construction.
+RETRIEVAL_SCHEMA_VERSION = 1
+
+#: Default number of coarse buckets probed per query.
+DEFAULT_PROBES = 8
+
+#: Gathered-candidate cap: probing stops once
+#: ``max(_SCAN_CAP_FLOOR, multiplier * top_m)`` candidates are
+#: gathered.  Exact cosine is the dominant query cost, so the cap is
+#: what bounds latency when a near-duplicate cluster lands the query in
+#: a huge bucket; 2× the requested size keeps enough slack for the
+#: final cosine ranking to matter while staying linear in ``top_m``.
+_SCAN_CAP_MULTIPLIER = 2
+_SCAN_CAP_FLOOR = 256
+
+#: Query dimensions kept by the pruned dot product that ranks
+#: :meth:`EmbeddingIndex.candidates` — the hot-path stand-in for exact
+#: cosine.
+_PARTIAL_DIMS = 16
+
+
+#: Sign-LSH hyperplanes; buckets are the 2**_PLANES sign patterns.
+_PLANES = 8
+
+
+@lru_cache(maxsize=None)
+def _plane_signs(dimension: int) -> tuple:
+    """The ±1 sign of one dimension on each LSH hyperplane.
+
+    One blake2b byte yields all :data:`_PLANES` signs, so planes are a
+    pure deterministic function of the dimension — identical across
+    processes and platforms, which keeps persisted indexes and their
+    re-derived buckets byte-reproducible.
+
+    :param dimension: embedding dimension id.
+    :return: tuple of ``_PLANES`` floats, each ``+1.0`` or ``-1.0``.
+    """
+    bits = blake2b(b"lsh:%d" % dimension, digest_size=1).digest()[0]
+    return tuple(
+        1.0 if bits >> plane & 1 else -1.0 for plane in range(_PLANES)
+    )
+
+
+def _projections(vector: dict) -> list:
+    """Project a sparse vector onto every LSH hyperplane.
+
+    :param vector: sparse embedding.
+    :return: list of ``_PLANES`` signed projection values.
+    """
+    projections = [0.0] * _PLANES
+    for dimension, weight in vector.items():
+        signs = _plane_signs(dimension)
+        for plane in range(_PLANES):
+            projections[plane] += weight * signs[plane]
+    return projections
+
+
+def _bucket_of(vector: dict) -> Optional[int]:
+    """The coarse bucket of one vector: its projection sign pattern.
+
+    Bit ``j`` of the bucket id is set when the vector's projection onto
+    plane ``j`` is non-negative — a pure function of the vector, so
+    buckets re-derived on load match the ones built incrementally.
+
+    :param vector: sparse embedding.
+    :return: bucket id in ``[0, 2**_PLANES)``, or ``None`` for an
+        empty vector.
+    """
+    if not vector:
+        return None
+    bucket = 0
+    for plane, projection in enumerate(_projections(vector)):
+        if projection >= 0:
+            bucket |= 1 << plane
+    return bucket
+
+
+def _probe_order(projections: list) -> list:
+    """Every bucket id, cheapest sign flips first (multi-probe LSH).
+
+    Flipping plane ``j`` away from the query's own sign pattern costs
+    ``|projections[j]|`` — how far the query sits from that hyperplane.
+    Buckets are visited in increasing total flip cost (ties toward the
+    smaller flip mask), starting with the query's own bucket at cost 0.
+
+    :param projections: the query vector's plane projections.
+    :return: all ``2**_PLANES`` bucket ids in probe order.
+    """
+    base = 0
+    for plane, projection in enumerate(projections):
+        if projection >= 0:
+            base |= 1 << plane
+    costs = [0.0] * (1 << _PLANES)
+    for mask in range(1, 1 << _PLANES):
+        low = mask & -mask
+        costs[mask] = costs[mask ^ low] + abs(
+            projections[low.bit_length() - 1]
+        )
+    order = sorted(range(1 << _PLANES), key=lambda m: (costs[m], m))
+    return [base ^ mask for mask in order]
+
+
+class EmbeddingIndex:
+    """Similarity search over one demonstration pool's embeddings."""
+
+    def __init__(self, dim: int = DEFAULT_DIM, probes: int = DEFAULT_PROBES):
+        if dim <= 0:
+            raise ValueError(f"embedding dim must be positive, got {dim}")
+        if probes <= 0:
+            raise ValueError(f"probe count must be positive, got {probes}")
+        self.dim = dim
+        self.probes = probes
+        self._vectors: list = []        # pool index -> sparse vector
+        self._buckets: dict = {}        # bucket dim -> [pool index, ...]
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, pairs, dim: int = DEFAULT_DIM,
+              probes: int = DEFAULT_PROBES) -> "EmbeddingIndex":
+        """Index a pool of ``(question, skeleton_tokens)`` pairs.
+
+        :param pairs: iterable of ``(question, skeleton)`` in pool
+            order; the position of each pair becomes its demo index.
+        :param dim: embedding width.
+        :param probes: coarse buckets probed per query.
+        :return: the populated index.
+        """
+        index = cls(dim=dim, probes=probes)
+        for question, skeleton in pairs:
+            index.add(question, skeleton)
+        return index
+
+    def add(self, question, skeleton) -> int:
+        """Append one demonstration's embedding — equals a full rebuild.
+
+        :param question: the demonstration's NL question (or ``None``).
+        :param skeleton: its detail-level skeleton token sequence.
+        :return: the new demonstration's pool index.
+        """
+        vector = embed(question, skeleton, dim=self.dim)
+        demo_index = len(self._vectors)
+        self._vectors.append(vector)
+        bucket = _bucket_of(vector)
+        if bucket is not None:
+            self._buckets.setdefault(bucket, []).append(demo_index)
+        return demo_index
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, question, skeleton, top_m: int) -> list:
+        """Top-M most similar demonstrations for a query pair.
+
+        Probes coarse buckets in multi-probe order — the query's own
+        sign pattern first, then patterns in increasing sign-flip cost —
+        widening past ``probes`` buckets only while fewer than ``top_m``
+        candidates have been gathered, and capping the total gathered
+        candidates so skewed buckets cannot make a query scan the pool.
+        When even every bucket yields fewer than ``top_m`` candidates,
+        the remaining vectors are scanned in pool order until the
+        shortfall is covered — a deterministic last-resort that keeps
+        the result set full.
+
+        :param question: the task's NL question.
+        :param skeleton: the top predicted skeleton's token sequence.
+        :param top_m: how many demonstrations to return.
+        :return: ``[(demo_index, similarity), ...]`` sorted by
+            similarity descending, ties toward the lower index; at most
+            ``top_m`` entries (fewer only when the pool is smaller).
+        """
+        if top_m <= 0 or not self._vectors:
+            return []
+        query_vector = embed(question, skeleton, dim=self.dim)
+        scan_cap = max(_SCAN_CAP_FLOOR, _SCAN_CAP_MULTIPLIER * top_m)
+        gathered = self._gather(query_vector, top_m, scan_cap)
+        scored = [
+            (demo_index, cosine(query_vector, self._vectors[demo_index]))
+            for demo_index in gathered
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top_m]
+
+    def candidates(self, question, skeleton, top_m: int) -> list:
+        """A candidate set for the selection pre-filter (hot path).
+
+        Two cheap tiers: multi-probe LSH gathers ``2 × top_m``
+        candidates, then a pruned dot product over the query's
+        :data:`_PARTIAL_DIMS` heaviest dimensions ranks them and keeps
+        ``top_m``.  The pruned score tracks exact cosine closely (the
+        vectors are L2-normalized, so heavy dimensions dominate the
+        dot) at a fraction of its cost — right for the pre-filter,
+        where only set membership matters and final ordering is
+        Algorithm 1's job.  Use :meth:`query` when exact scores are
+        needed.
+
+        :param question: the task's NL question.
+        :param skeleton: the top predicted skeleton's token sequence.
+        :return: up to ``top_m`` demo indices, pruned-score descending
+            (ties toward the lower index; fewer entries only when the
+            pool is smaller).
+        """
+        if top_m <= 0 or not self._vectors:
+            return []
+        query_vector = embed(question, skeleton, dim=self.dim)
+        gathered = self._gather(query_vector, top_m, 2 * top_m)
+        heavy = sorted(
+            query_vector.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+        )[:_PARTIAL_DIMS]
+        scored = []
+        for demo_index in gathered:
+            vector = self._vectors[demo_index]
+            score = 0.0
+            for dimension, weight in heavy:
+                other = vector.get(dimension)
+                if other is not None:
+                    score += weight * other
+            scored.append((-score, demo_index))
+        scored.sort()
+        return [demo_index for _, demo_index in scored[:top_m]]
+
+    def _gather(self, query_vector: dict, top_m: int, scan_cap: int) -> list:
+        """Multi-probe bucket gathering shared by query/candidates.
+
+        :param query_vector: the embedded query.
+        :param top_m: minimum candidates to aim for before stopping.
+        :param scan_cap: hard cap on gathered candidates.
+        :return: gathered demo indices in probe order.
+        """
+        gathered: list = []
+        seen: set = set()
+
+        def _drain(indices) -> bool:
+            for demo_index in indices:
+                if demo_index in seen:
+                    continue
+                seen.add(demo_index)
+                gathered.append(demo_index)
+                if len(gathered) >= scan_cap:
+                    return True
+            return False
+
+        probed = 0
+        for bucket in _probe_order(_projections(query_vector)):
+            if probed >= self.probes and len(gathered) >= top_m:
+                break
+            indices = self._buckets.get(bucket)
+            if not indices:
+                continue
+            probed += 1
+            if _drain(indices):
+                break
+        if len(gathered) < top_m and len(seen) < len(self._vectors):
+            # Sequential fallback in pool order, bounded by the shortfall.
+            needed = top_m - len(gathered)
+            for demo_index in range(len(self._vectors)):
+                if demo_index in seen:
+                    continue
+                seen.add(demo_index)
+                gathered.append(demo_index)
+                needed -= 1
+                if needed <= 0:
+                    break
+        return gathered
+
+    def similarities(self, question, skeleton, indices) -> dict:
+        """Exact cosine similarities for specific demonstrations.
+
+        :param question: the task's NL question.
+        :param skeleton: the top predicted skeleton's token sequence.
+        :param indices: demo indices to score (out-of-range ignored).
+        :return: ``{demo_index: similarity}`` for every valid index.
+        """
+        query_vector = embed(question, skeleton, dim=self.dim)
+        return {
+            i: cosine(query_vector, self._vectors[i])
+            for i in indices
+            if 0 <= i < len(self._vectors)
+        }
+
+    # -- persistence (the store's retrieval section) -----------------------
+
+    def as_payload(self) -> dict:
+        """JSON form for the store container's ``retrieval`` section.
+
+        Vectors serialize as sorted ``[dimension, weight]`` pairs so
+        the payload is canonical; buckets are not stored — they are a
+        pure function of the vectors and are re-derived on load.
+        """
+        return {
+            "dim": self.dim,
+            "probes": self.probes,
+            "vectors": [
+                [[d, vector[d]] for d in sorted(vector)]
+                for vector in self._vectors
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EmbeddingIndex":
+        """Reconstruct from :meth:`as_payload` output.
+
+        :param payload: the ``retrieval`` section of a store payload.
+        :return: an index equal to the one serialized (same vectors,
+            same buckets, same query results).
+        """
+        index = cls(
+            dim=int(payload["dim"]), probes=int(payload["probes"])
+        )
+        for pairs in payload["vectors"]:
+            vector = {int(d): float(w) for d, w in pairs}
+            demo_index = len(index._vectors)
+            index._vectors.append(vector)
+            bucket = _bucket_of(vector)
+            if bucket is not None:
+                index._buckets.setdefault(bucket, []).append(demo_index)
+        return index
+
+    def vector(self, demo_index: int) -> dict:
+        """The stored sparse vector for one demonstration (a copy).
+
+        :param demo_index: pool position of the demonstration.
+        :return: its sparse embedding.
+        """
+        return dict(self._vectors[demo_index])
+
+    def bucket_sizes(self) -> dict:
+        """Occupancy per coarse bucket (diagnostics/telemetry)."""
+        return {d: len(ids) for d, ids in sorted(self._buckets.items())}

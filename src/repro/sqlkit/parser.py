@@ -389,6 +389,12 @@ class _Parser:
             if nxt is not None and nxt.kind is TokenKind.PUNCT and nxt.value == "(":
                 return self._parse_call(is_agg=False)
             return self._parse_column_ref()
+        if tok.is_keyword("FETCH", "FIRST", "ROWS", "ONLY"):
+            # The ANSI row-limiting words are keywords only inside the
+            # FETCH clause (handled at clause level); in expression
+            # position they are ordinary column names (``WHERE rows <
+            # 0`` predates the FETCH FIRST support).
+            return self._parse_column_ref()
         raise SQLParseError(f"unexpected token {tok.value!r} in expression", self.pos)
 
     def _parse_call(self, is_agg: bool) -> Node:

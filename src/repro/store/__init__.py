@@ -17,6 +17,7 @@ the CLI workflow.
 from repro.store.cache import clear_shared_stores, shared_store
 from repro.store.format import (
     FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
     CorruptStoreError,
     StaleStoreError,
     StoreError,
@@ -40,6 +41,7 @@ __all__ = [
     "StaleStoreError",
     "StoreVersionError",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "SKELETON_SCHEMA_VERSION",
     "pool_hash",
     "read_manifest",

@@ -29,8 +29,16 @@ from pathlib import Path
 #: First 8 bytes of every store file.
 MAGIC = b"PRPLDEM\x01"
 
-#: Container layout revision (bump on any byte-layout change).
-FORMAT_VERSION = 1
+#: Container layout revision (bump on any byte-layout change).  v2
+#: added the optional ``retrieval`` payload section and manifest block
+#: (docs/retrieval.md); the byte layout is unchanged, so v1 files stay
+#: readable.
+FORMAT_VERSION = 2
+
+#: Every format version this build can read.  Writers always emit
+#: :data:`FORMAT_VERSION`; v1 containers (no retrieval section) load as
+#: stores without an embedding index.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 _U32 = struct.Struct(">I")
 
@@ -100,10 +108,10 @@ def _parse_header(view) -> tuple:
     offset += mlen
     (plen,) = _U32.unpack(_slice(view, offset, 4, "payload length"))
     offset += 4
-    if manifest.get("format_version") != FORMAT_VERSION:
+    if manifest.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise StoreVersionError(
             f"store format_version {manifest.get('format_version')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"this build reads versions {SUPPORTED_FORMAT_VERSIONS}"
         )
     return manifest, offset, plen
 
@@ -124,10 +132,10 @@ def read_manifest(path) -> dict:
         manifest = json.loads(manifest_bytes)
     except json.JSONDecodeError as exc:
         raise CorruptStoreError(f"manifest is not valid JSON: {exc}") from exc
-    if manifest.get("format_version") != FORMAT_VERSION:
+    if manifest.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise StoreVersionError(
             f"store format_version {manifest.get('format_version')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"this build reads versions {SUPPORTED_FORMAT_VERSIONS}"
         )
     return manifest
 

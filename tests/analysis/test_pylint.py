@@ -137,10 +137,14 @@ class TestMissingDocstringRule:
         findings = self.run_scoped(tmp_path, source)
         assert [d.span.line for d in findings] == [3]
 
-    def test_rule_scoped_to_core_and_store(self, tmp_path):
+    def test_rule_scoped_to_documented_roots(self, tmp_path):
         source = "def bare():\n    return 1\n"
-        assert self.run_scoped(tmp_path, source, subdir="repro/eval") == []
-        assert len(self.run_scoped(tmp_path, source, subdir="repro/store")) == 1
+        assert self.run_scoped(tmp_path / "a", source, subdir="repro/llm") == []
+        for i, subdir in enumerate(
+            ("repro/core", "repro/store", "repro/retrieval", "repro/eval")
+        ):
+            base = tmp_path / str(i)  # fresh tree per root under test
+            assert len(self.run_scoped(base, source, subdir=subdir)) == 1
 
 
 class TestNoRawExcStr:

@@ -1,0 +1,197 @@
+"""Pipeline-level contracts of the retrieval tier (docs/retrieval.md).
+
+The load-bearing promise: ``retrieval="off"`` is byte-identical to a
+build that predates the tier — same selections, same SQL, same trace.
+``prefilter``/``fused`` must run end to end, emit their ``retrieval.*``
+telemetry, and honor the warm-store path.
+"""
+
+import pytest
+
+from repro import api
+from repro.api.runtime import build_approach, make_llm, RuntimeConfigError
+from repro.eval import evaluate_approach
+from repro.eval.harness import TranslationTask
+from repro.obs import Observer
+
+
+def make_purple(train, **overrides):
+    return api.create(
+        "purple", llm=make_llm("gpt4"), train=train, **overrides
+    )
+
+
+@pytest.fixture(scope="module")
+def tasks(dev_set):
+    return [
+        TranslationTask(
+            question=ex.question, database=dev_set.database(ex.db_id)
+        )
+        for ex in dev_set.examples[:6]
+    ]
+
+
+class TestOffIsByteIdentical:
+    def test_default_config_is_off(self, train_set):
+        purple = make_purple(train_set)
+        try:
+            assert purple.config.retrieval == "off"
+            assert purple.retrieval_index is None
+            assert "retrieval" not in purple.index_stats
+        finally:
+            purple.close()
+
+    def test_off_sql_and_trace_identical_to_default(self, train_set, tasks):
+        """Pinned byte-identity: explicit off == default, SQL and spans."""
+        outputs = []
+        for overrides in ({}, {"retrieval": "off"}):
+            observer = Observer(seed=0)
+            with observer.activate():
+                purple = make_purple(train_set, **overrides)
+                try:
+                    sqls = [purple.translate(t).sql for t in tasks]
+                finally:
+                    purple.close()
+            spans = [
+                (s.name, tuple(sorted(s.attrs.items())))
+                for s in observer.tracer.spans()
+            ]
+            outputs.append((sqls, spans))
+        assert outputs[0] == outputs[1]
+
+    def test_off_emits_no_retrieval_telemetry(self, train_set, tasks):
+        observer = Observer(seed=0)
+        with observer.activate():
+            purple = make_purple(train_set)
+            try:
+                for task in tasks:
+                    purple.translate(task)
+            finally:
+                purple.close()
+        snapshot = observer.metrics.snapshot()
+        names = {s.name for s in observer.tracer.spans()}
+        assert not any(n.startswith("retrieval.") for n in names)
+        assert snapshot.counter_total("retrieval.queries") == 0
+        assert snapshot.counter_total("retrieval.builds") == 0
+
+
+class TestPrefilterAndFused:
+    @pytest.mark.parametrize("mode", ["prefilter", "fused"])
+    def test_modes_translate_end_to_end(self, train_set, tasks, mode):
+        purple = make_purple(train_set, retrieval=mode)
+        try:
+            assert purple.retrieval_index is not None
+            assert purple.index_stats["retrieval"]["mode"] == mode
+            for task in tasks:
+                assert purple.translate(task).sql
+        finally:
+            purple.close()
+
+    def test_prefilter_emits_telemetry(self, train_set, tasks):
+        observer = Observer(seed=0)
+        with observer.activate():
+            purple = make_purple(train_set, retrieval="prefilter")
+            try:
+                for task in tasks:
+                    purple.translate(task)
+            finally:
+                purple.close()
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.counter("retrieval.queries") == len(tasks)
+        assert snapshot.counter("retrieval.builds") == 1
+        assert any(
+            s.name == "retrieval.select" for s in observer.tracer.spans()
+        )
+
+    def test_fused_counts_reranks(self, train_set, tasks):
+        observer = Observer(seed=0)
+        with observer.activate():
+            purple = make_purple(train_set, retrieval="fused")
+            try:
+                for task in tasks:
+                    purple.translate(task)
+            finally:
+                purple.close()
+        assert (
+            observer.metrics.snapshot().counter("retrieval.fused_reranks") > 0
+        )
+
+    def test_tiny_candidate_budget_falls_back(self, train_set, tasks):
+        # candidates=0-similarity corner: a 1-demo budget usually misses
+        # every automaton match, exercising the unfiltered fallback.
+        observer = Observer(seed=0)
+        with observer.activate():
+            purple = make_purple(
+                train_set, retrieval="prefilter", retrieval_candidates=1
+            )
+            try:
+                sqls = [purple.translate(t).sql for t in tasks]
+            finally:
+                purple.close()
+        assert all(sqls)
+
+    def test_scores_stay_sane(self, train_set, dev_set):
+        purple = make_purple(train_set, retrieval="prefilter")
+        try:
+            report = evaluate_approach(purple, dev_set, limit=8)
+        finally:
+            purple.close()
+        assert report.ex > 0
+
+    def test_unknown_mode_rejected(self, train_set):
+        with pytest.raises(ValueError, match="retrieval mode"):
+            make_purple(train_set, retrieval="bogus")
+
+
+class TestWarmStorePath:
+    def test_store_round_trip_serves_retrieval(self, tmp_path, train_set):
+        path = tmp_path / "pool.demostore"
+        first = make_purple(
+            train_set, retrieval="prefilter", store_path=str(path)
+        )
+        try:
+            assert first.retrieval_index is not None
+            assert first.index_stats["source"] == "warm"
+        finally:
+            first.close()
+        from repro.store import clear_shared_stores, read_manifest
+
+        assert "retrieval" in read_manifest(path)
+        clear_shared_stores()
+        second = make_purple(
+            train_set, retrieval="prefilter", store_path=str(path),
+            offline_index=True,  # must load, not rebuild
+        )
+        try:
+            assert second.retrieval_index is not None
+        finally:
+            second.close()
+        clear_shared_stores()
+
+    def test_embedded_store_with_retrieval_off_stays_inert(
+        self, tmp_path, train_set
+    ):
+        from repro.store import DemoStore, clear_shared_stores
+
+        path = tmp_path / "pool.demostore"
+        DemoStore.build(
+            [ex.sql for ex in train_set],
+            questions=[ex.question for ex in train_set],
+        ).save(path)
+        clear_shared_stores()
+        purple = make_purple(train_set, store_path=str(path))
+        try:
+            assert purple.retrieval_index is None
+            assert "retrieval" not in purple.index_stats
+        finally:
+            purple.close()
+        clear_shared_stores()
+
+
+class TestRuntimeKnob:
+    def test_retrieval_is_purple_only(self, train_set):
+        with pytest.raises(RuntimeConfigError, match="purple"):
+            build_approach(
+                "zero", make_llm("gpt4"), train_set, 3072, 5,
+                retrieval="prefilter",
+            )

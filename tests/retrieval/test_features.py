@@ -1,0 +1,97 @@
+"""Unit tests for the hashed bag-of-features embedding scheme."""
+
+import math
+
+from repro.retrieval import (
+    DEFAULT_DIM,
+    cosine,
+    embed,
+    hash_feature,
+    question_features,
+    question_tokens,
+    skeleton_features,
+)
+
+SKELETON = ("SELECT", "_", "FROM", "_", "WHERE", "_", ">", "_")
+
+
+class TestTokenization:
+    def test_question_tokens_lowercase_alnum(self):
+        assert question_tokens("How many SINGERS are over 30?") == [
+            "how", "many", "singers", "are", "over", "30",
+        ]
+
+    def test_question_features_include_bigrams(self):
+        features = question_features("how many singers")
+        assert "q:many" in features
+        assert "qb:how\x1fmany" in features
+        assert "qb:many\x1fsingers" in features
+
+    def test_skeleton_features_trigrams_with_sentinels(self):
+        features = skeleton_features(("SELECT", "_", "FROM"))
+        assert "s:SELECT" in features
+        assert "s3:^\x1fSELECT\x1f_" in features
+        assert "s3:_\x1fFROM\x1f$" in features
+
+    def test_namespaces_never_collide_by_text(self):
+        # The same surface token produces different features per family.
+        assert question_features("select") != skeleton_features(("select",))
+
+
+class TestHashing:
+    def test_hash_feature_deterministic_and_in_range(self):
+        for feature in ("q:how", "s:SELECT", "s3:a\x1fb\x1fc"):
+            dim1, sign1 = hash_feature(feature, 64)
+            dim2, sign2 = hash_feature(feature, 64)
+            assert (dim1, sign1) == (dim2, sign2)
+            assert 0 <= dim1 < 64
+            assert sign1 in (-1.0, 1.0)
+
+    def test_dim_is_modulus(self):
+        dim, _ = hash_feature("q:anything", 1)
+        assert dim == 0
+
+
+class TestEmbed:
+    def test_unit_norm(self):
+        vector = embed("how many singers", SKELETON)
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert abs(norm - 1.0) < 1e-9
+
+    def test_empty_inputs_give_empty_vector(self):
+        assert embed(None, None) == {}
+        assert embed("", ()) == {}
+
+    def test_question_only_and_skeleton_only_both_meaningful(self):
+        assert embed("how many singers", None)
+        assert embed(None, SKELETON)
+
+    def test_deterministic_across_calls(self):
+        assert embed("how many", SKELETON) == embed("how many", SKELETON)
+
+    def test_default_dim_bounds_dimensions(self):
+        vector = embed("a question with several words", SKELETON)
+        assert all(0 <= d < DEFAULT_DIM for d in vector)
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self):
+        vector = embed("how many singers are there", SKELETON)
+        assert abs(cosine(vector, vector) - 1.0) < 1e-9
+
+    def test_disjoint_vectors_give_zero(self):
+        assert cosine({0: 1.0}, {1: 1.0}) == 0.0
+
+    def test_empty_vector_gives_zero(self):
+        assert cosine({}, embed("anything", SKELETON)) == 0.0
+
+    def test_similar_questions_beat_dissimilar(self):
+        query = embed("how many singers are older than thirty", SKELETON)
+        close = embed("how many singers are older than forty", SKELETON)
+        far = embed("list every concert venue by city", ("SELECT", "_"))
+        assert cosine(query, close) > cosine(query, far)
+
+    def test_symmetric(self):
+        a = embed("how many singers", SKELETON)
+        b = embed("total number of singers", SKELETON)
+        assert abs(cosine(a, b) - cosine(b, a)) < 1e-12

@@ -1,0 +1,38 @@
+"""Unit tests for the similarity × rank fusion."""
+
+from repro.retrieval import fused_order, fused_score
+
+
+class TestFusedScore:
+    def test_rank_zero_is_raw_similarity(self):
+        assert fused_score(0.8, 0) == 0.8
+
+    def test_harmonic_decay_with_rank(self):
+        assert fused_score(1.0, 1) == 0.5
+        assert fused_score(1.0, 3) == 0.25
+
+
+class TestFusedOrder:
+    def test_identical_similarities_keep_automaton_order(self):
+        order = [7, 3, 9]
+        assert fused_order(order, {7: 0.5, 3: 0.5, 9: 0.5}) == [7, 3, 9]
+
+    def test_high_similarity_climbs(self):
+        # Demo 3 at rank 1 with sim 0.9 outscores demo 7 at rank 0 with
+        # sim 0.2: 0.9/2 = 0.45 > 0.2/1 = 0.2.
+        assert fused_order([7, 3], {7: 0.2, 3: 0.9}) == [3, 7]
+
+    def test_rank_weight_protects_early_demos(self):
+        # Equal similarity cannot overturn the automaton's order.
+        assert fused_order([7, 3], {7: 0.9, 3: 0.9}) == [7, 3]
+
+    def test_missing_similarity_scores_zero(self):
+        assert fused_order([7, 3, 9], {3: 0.4}) == [3, 7, 9]
+
+    def test_empty_order(self):
+        assert fused_order([], {}) == []
+
+    def test_is_a_permutation(self):
+        order = [5, 1, 8, 2]
+        result = fused_order(order, {5: 0.1, 1: 0.9, 8: 0.5, 2: 0.7})
+        assert sorted(result) == sorted(order)

@@ -1,0 +1,144 @@
+"""Unit tests for the bucketed embedding index."""
+
+import pytest
+
+from repro.retrieval import EmbeddingIndex, cosine, embed
+
+POOL = [
+    ("how many singers are there", ("SELECT", "COUNT", "(", "*", ")", "FROM", "_")),
+    ("how many concerts are there", ("SELECT", "COUNT", "(", "*", ")", "FROM", "_")),
+    ("list singer names", ("SELECT", "_", "FROM", "_")),
+    ("names of all stadiums", ("SELECT", "_", "FROM", "_")),
+    ("singers older than thirty", ("SELECT", "_", "FROM", "_", "WHERE", "_", ">", "_")),
+    ("average age per country", ("SELECT", "_", ",", "AVG", "(", "_", ")", "FROM", "_", "GROUP", "BY", "_")),
+]
+
+
+@pytest.fixture()
+def index():
+    return EmbeddingIndex.build(POOL)
+
+
+class TestConstruction:
+    def test_build_indexes_all(self, index):
+        assert len(index) == len(POOL)
+
+    def test_invalid_dim_and_probes_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingIndex(dim=0)
+        with pytest.raises(ValueError):
+            EmbeddingIndex(probes=0)
+
+    def test_incremental_add_equals_build(self):
+        built = EmbeddingIndex.build(POOL)
+        grown = EmbeddingIndex.build(POOL[:2])
+        for question, skeleton in POOL[2:]:
+            grown.add(question, skeleton)
+        assert grown.as_payload() == built.as_payload()
+        assert grown.bucket_sizes() == built.bucket_sizes()
+
+    def test_add_returns_pool_index(self):
+        index = EmbeddingIndex()
+        assert index.add(*POOL[0]) == 0
+        assert index.add(*POOL[1]) == 1
+
+
+class TestQuery:
+    def test_exact_question_ranks_itself_first(self, index):
+        question, skeleton = POOL[4]
+        results = index.query(question, skeleton, top_m=3)
+        assert results[0][0] == 4
+        assert abs(results[0][1] - 1.0) < 1e-9
+
+    def test_results_sorted_by_similarity(self, index):
+        results = index.query("how many singers", POOL[0][1], top_m=6)
+        sims = [s for _, s in results]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_top_m_caps_results(self, index):
+        assert len(index.query("how many singers", POOL[0][1], 2)) == 2
+
+    def test_zero_top_m_and_empty_index(self, index):
+        assert index.query("q", (), 0) == []
+        assert EmbeddingIndex().query("q", ("SELECT",), 3) == []
+
+    def test_query_matches_exhaustive_scan_on_top_hit(self, index):
+        question, skeleton = "singers over forty", POOL[4][1]
+        query_vector = embed(question, skeleton)
+        exhaustive = max(
+            range(len(POOL)),
+            key=lambda i: (cosine(query_vector, index.vector(i)), -i),
+        )
+        results = index.query(question, skeleton, top_m=1)
+        assert results[0][0] == exhaustive
+
+    def test_returns_full_pool_when_top_m_exceeds_it(self, index):
+        results = index.query("anything at all", ("SELECT",), top_m=50)
+        assert sorted(i for i, _ in results) == list(range(len(POOL)))
+
+    def test_deterministic_across_instances(self):
+        a = EmbeddingIndex.build(POOL).query("how many singers", POOL[0][1], 4)
+        b = EmbeddingIndex.build(POOL).query("how many singers", POOL[0][1], 4)
+        assert a == b
+
+
+class TestCandidates:
+    def test_caps_at_top_m(self, index):
+        assert len(index.candidates("how many singers", POOL[0][1], 2)) == 2
+
+    def test_returns_full_pool_when_top_m_exceeds_it(self, index):
+        got = index.candidates("anything at all", ("SELECT",), 50)
+        assert sorted(got) == list(range(len(POOL)))
+
+    def test_no_duplicates(self, index):
+        got = index.candidates("how many singers", POOL[0][1], 6)
+        assert len(got) == len(set(got))
+
+    def test_zero_top_m_and_empty_index(self, index):
+        assert index.candidates("q", (), 0) == []
+        assert EmbeddingIndex().candidates("q", ("SELECT",), 3) == []
+
+    def test_superset_of_query_when_caps_allow(self, index):
+        # With top_m covering the pool, both tiers see everything; the
+        # recall tier just skips the scoring.
+        ranked = index.query("list names", POOL[2][1], len(POOL))
+        recall = index.candidates("list names", POOL[2][1], len(POOL))
+        assert sorted(recall) == sorted(i for i, _ in ranked)
+
+    def test_deterministic_across_instances(self):
+        a = EmbeddingIndex.build(POOL).candidates("names", POOL[2][1], 3)
+        b = EmbeddingIndex.build(POOL).candidates("names", POOL[2][1], 3)
+        assert a == b
+
+
+class TestSimilarities:
+    def test_matches_cosine_of_stored_vectors(self, index):
+        question, skeleton = "names of singers", POOL[2][1]
+        sims = index.similarities(question, skeleton, [0, 2, 5])
+        query_vector = embed(question, skeleton)
+        for i, value in sims.items():
+            assert abs(value - cosine(query_vector, index.vector(i))) < 1e-12
+
+    def test_out_of_range_indices_ignored(self, index):
+        sims = index.similarities("q", ("SELECT",), [-1, 0, 99])
+        assert set(sims) == {0}
+
+
+class TestPayload:
+    def test_round_trip_preserves_queries(self, index):
+        clone = EmbeddingIndex.from_payload(index.as_payload())
+        assert clone.dim == index.dim
+        assert clone.probes == index.probes
+        assert len(clone) == len(index)
+        assert clone.bucket_sizes() == index.bucket_sizes()
+        query = ("how many stadiums", POOL[3][1], 5)
+        assert clone.query(*query) == index.query(*query)
+
+    def test_payload_is_json_safe_and_canonical(self, index):
+        import json
+
+        payload = index.as_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        for vector in payload["vectors"]:
+            dims = [d for d, _ in vector]
+            assert dims == sorted(dims)

@@ -1,0 +1,276 @@
+"""The store container's retrieval section: round-trip, corruption
+matrix, incremental parity, decision table, and v1 backward reads."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.retrieval import RETRIEVAL_SCHEMA_VERSION
+from repro.store import (
+    FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    CorruptStoreError,
+    DemoStore,
+    StaleStoreError,
+    StoreVersionError,
+    clear_shared_stores,
+    read_manifest,
+    shared_store,
+)
+from repro.store.format import MAGIC, read_store, write_store
+
+SQLS = [
+    "SELECT name FROM singer",
+    "SELECT name FROM singer WHERE age > 30",
+    "SELECT COUNT(*) FROM concert",
+    "SELECT a, COUNT(*) FROM t GROUP BY a",
+]
+QUESTIONS = [
+    "list the singer names",
+    "which singers are older than thirty",
+    "how many concerts are there",
+    "count rows per value of a",
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_shared_stores()
+    yield
+    clear_shared_stores()
+
+
+def rewrite(path, mutate):
+    """Rewrite a store file with ``mutate(manifest, payload)`` applied."""
+    manifest, payload = read_store(path)
+    mutate(manifest, payload)
+    write_store(path, manifest, payload)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_embedding_index(self, tmp_path):
+        built = DemoStore.build(SQLS, questions=QUESTIONS)
+        path = built.save(tmp_path / "pool.demostore")
+        loaded = DemoStore.load(path)
+        assert loaded.questions == QUESTIONS
+        assert loaded.retrieval.as_payload() == built.retrieval.as_payload()
+        assert loaded.manifest.retrieval == built.manifest.retrieval
+        query = (QUESTIONS[1], loaded.demos[1].skeleton, 3)
+        assert loaded.retrieval.query(*query) == built.retrieval.query(*query)
+
+    def test_manifest_block_shape(self, tmp_path):
+        built = DemoStore.build(SQLS, questions=QUESTIONS)
+        block = built.manifest.retrieval
+        assert block["version"] == RETRIEVAL_SCHEMA_VERSION
+        assert block["count"] == len(SQLS)
+        assert set(block) == {
+            "version", "dim", "probes", "questions_hash", "count",
+        }
+
+    def test_store_without_questions_has_no_section(self, tmp_path):
+        built = DemoStore.build(SQLS)
+        path = built.save(tmp_path / "plain.demostore")
+        assert built.retrieval is None
+        assert "retrieval" not in read_manifest(path)
+        loaded = DemoStore.load(path)
+        assert loaded.retrieval is None and loaded.questions is None
+
+    def test_retrieval_config_respected(self, tmp_path):
+        built = DemoStore.build(
+            SQLS, questions=QUESTIONS,
+            retrieval_config={"dim": 64, "probes": 3},
+        )
+        assert built.retrieval.dim == 64
+        assert built.retrieval.probes == 3
+        loaded = DemoStore.load(built.save(tmp_path / "p.demostore"))
+        assert loaded.retrieval.dim == 64
+        assert loaded.retrieval.probes == 3
+
+    def test_mismatched_question_count_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            DemoStore.build(SQLS, questions=QUESTIONS[:-1])
+
+    def test_self_check_deep_covers_embeddings(self, tmp_path):
+        built = DemoStore.build(SQLS, questions=QUESTIONS)
+        loaded = DemoStore.load(built.save(tmp_path / "p.demostore"))
+        assert loaded.self_check(deep=True) == []
+
+
+class TestIncrementalParity:
+    def test_add_equals_rebuild_exactly(self, tmp_path):
+        grown = DemoStore.build(
+            SQLS[:2], questions=QUESTIONS[:2]
+        )
+        for sql, question in zip(SQLS[2:], QUESTIONS[2:]):
+            grown.add(sql, question=question)
+        rebuilt = DemoStore.build(SQLS, questions=QUESTIONS)
+        assert grown.manifest.as_dict() == rebuilt.manifest.as_dict()
+        assert grown.retrieval.as_payload() == rebuilt.retrieval.as_payload()
+        # Byte-level: the saved containers are identical.
+        a = grown.save(tmp_path / "grown.demostore")
+        b = rebuilt.save(tmp_path / "rebuilt.demostore")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_add_without_question_rejected_on_embedding_store(self):
+        store = DemoStore.build(SQLS, questions=QUESTIONS)
+        with pytest.raises(ValueError, match="question"):
+            store.add("SELECT 1 FROM x")
+
+    def test_add_ignores_question_on_plain_store(self):
+        store = DemoStore.build(SQLS)
+        store.add("SELECT 1 FROM x", question="ignored")
+        assert store.retrieval is None
+        assert store.manifest.pool_size == len(SQLS) + 1
+
+
+class TestCorruptionMatrix:
+    @pytest.fixture()
+    def path(self, tmp_path):
+        return DemoStore.build(SQLS, questions=QUESTIONS).save(
+            tmp_path / "pool.demostore"
+        )
+
+    def test_payload_section_missing(self, path):
+        rewrite(path, lambda m, p: p.pop("retrieval"))
+        with pytest.raises(CorruptStoreError, match="lacks"):
+            DemoStore.load(path)
+
+    def test_vector_count_mismatch(self, path):
+        rewrite(path, lambda m, p: p["retrieval"]["vectors"].pop())
+        with pytest.raises(CorruptStoreError, match="mismatch"):
+            DemoStore.load(path)
+
+    def test_question_count_mismatch(self, path):
+        rewrite(path, lambda m, p: p["retrieval"]["questions"].pop())
+        with pytest.raises(CorruptStoreError, match="mismatch"):
+            DemoStore.load(path)
+
+    def test_garbled_vectors(self, path):
+        rewrite(
+            path,
+            lambda m, p: p["retrieval"].__setitem__("vectors", "garbage"),
+        )
+        with pytest.raises(CorruptStoreError, match="decode"):
+            DemoStore.load(path)
+
+    def test_future_embedding_schema_rejected(self, path):
+        rewrite(
+            path,
+            lambda m, p: m["retrieval"].__setitem__(
+                "version", RETRIEVAL_SCHEMA_VERSION + 1
+            ),
+        )
+        with pytest.raises(StoreVersionError, match="embedding schema"):
+            DemoStore.load(path)
+
+    def test_plain_demos_still_guarded(self, path):
+        # The pre-existing corruption checks survive the v2 bump.
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptStoreError):
+            DemoStore.load(path)
+
+
+class TestFormatVersions:
+    def test_writer_emits_v2(self, tmp_path):
+        path = DemoStore.build(SQLS).save(tmp_path / "p.demostore")
+        assert read_manifest(path)["format_version"] == FORMAT_VERSION == 2
+
+    def test_v1_container_still_loads(self, tmp_path):
+        # A v1 store is exactly a v2 store without the retrieval
+        # section and with format_version 1.
+        assert 1 in SUPPORTED_FORMAT_VERSIONS
+        store = DemoStore.build(SQLS)
+        path = store.save(tmp_path / "p.demostore")
+        rewrite(path, lambda m, p: m.__setitem__("format_version", 1))
+        loaded = DemoStore.load(path)
+        assert [d.sql for d in loaded.demos] == SQLS
+        assert loaded.retrieval is None
+
+    def test_future_version_still_rejected(self, tmp_path):
+        path = DemoStore.build(SQLS).save(tmp_path / "p.demostore")
+        future = max(SUPPORTED_FORMAT_VERSIONS) + 1
+        rewrite(path, lambda m, p: m.__setitem__("format_version", future))
+        with pytest.raises(StoreVersionError):
+            DemoStore.load(path)
+
+
+class TestDecisionTable:
+    def test_questions_missing_section_triggers_rebuild(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS).save(path)  # no embeddings
+        store = DemoStore.open(path, SQLS, questions=QUESTIONS)
+        assert store.retrieval is not None
+        # The rebuild was persisted: a plain load now has the section.
+        assert DemoStore.load(path).retrieval is not None
+
+    def test_questions_hash_mismatch_triggers_rebuild(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS, questions=QUESTIONS).save(path)
+        changed = ["different question"] + QUESTIONS[1:]
+        store = DemoStore.open(path, SQLS, questions=changed)
+        assert store.questions == changed
+
+    def test_retrieval_config_mismatch_triggers_rebuild(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS, questions=QUESTIONS).save(path)
+        store = DemoStore.open(
+            path, SQLS, questions=QUESTIONS, retrieval_config={"dim": 32}
+        )
+        assert store.retrieval.dim == 32
+
+    def test_fresh_section_reused(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS, questions=QUESTIONS).save(path)
+        before = path.read_bytes()
+        store = DemoStore.open(path, SQLS, questions=QUESTIONS)
+        assert store.retrieval is not None
+        assert path.read_bytes() == before  # loaded, not rebuilt
+
+    def test_offline_mode_raises_instead_of_rebuilding(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS).save(path)
+        with pytest.raises(StaleStoreError, match="retrieval"):
+            DemoStore.open(path, SQLS, questions=QUESTIONS, offline=True)
+
+    def test_plain_open_ignores_existing_section(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        DemoStore.build(SQLS, questions=QUESTIONS).save(path)
+        store = DemoStore.open(path, SQLS)
+        # The section loads (it is fresh) but nothing forced a rebuild.
+        assert store.manifest.retrieval is not None
+
+    def test_verify_against_checks_questions(self, tmp_path):
+        store = DemoStore.build(SQLS, questions=QUESTIONS)
+        assert store.verify_against(SQLS, questions=QUESTIONS) == []
+        problems = store.verify_against(
+            SQLS, questions=["other"] + QUESTIONS[1:]
+        )
+        assert any("questions" in p for p in problems)
+
+
+class TestSharedCache:
+    def test_questions_requesting_caller_gets_embedding_store(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        plain = shared_store(path, SQLS)
+        assert plain.retrieval is None
+        embedded = shared_store(path, SQLS, questions=QUESTIONS)
+        assert embedded.retrieval is not None
+        # Distinct cache entries: the plain caller keeps its object.
+        assert shared_store(path, SQLS) is plain
+        assert shared_store(path, SQLS, questions=QUESTIONS) is embedded
+
+    def test_retrieval_config_is_part_of_the_key(self, tmp_path):
+        path = tmp_path / "p.demostore"
+        a = shared_store(
+            path, SQLS, questions=QUESTIONS, retrieval_config={"dim": 32}
+        )
+        b = shared_store(
+            path, SQLS, questions=QUESTIONS, retrieval_config={"dim": 64}
+        )
+        assert a is not b
+        assert a.retrieval.dim == 32
+        assert b.retrieval.dim == 64

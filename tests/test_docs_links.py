@@ -90,6 +90,26 @@ def test_every_doc_reachable_from_readme():
     assert missing == [], f"docs unreachable from README.md: {missing}"
 
 
+def test_every_doc_linked_directly_from_readme_index():
+    """Stronger than reachability: the README doc index must name every
+    docs/ page itself, so a reader never needs a second hop to find one."""
+    readme = REPO / "README.md"
+    direct = set()
+    for target in links_of(readme):
+        resolved = resolve(readme, target)
+        if resolved is None:
+            continue
+        file, _ = resolved
+        if file.suffix == ".md":
+            direct.add(file)
+    missing = [
+        str(p.relative_to(REPO))
+        for p in sorted((REPO / "docs").glob("*.md"))
+        if p.resolve() not in direct
+    ]
+    assert missing == [], f"docs not linked from the README index: {missing}"
+
+
 def test_docs_have_at_least_one_heading():
     for doc in DOC_FILES:
         assert anchors_of(doc), f"{doc.name} has no headings"

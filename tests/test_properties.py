@@ -37,7 +37,8 @@ identifiers = st.text(
                              "having", "limit", "as", "on", "join", "is",
                              "null", "asc", "desc", "union", "except",
                              "intersect", "distinct", "count", "max", "min",
-                             "sum", "avg", "left", "inner", "outer", "concat"})
+                             "sum", "avg", "left", "inner", "outer", "concat",
+                             "fetch", "first", "rows", "only"})
 
 column_refs = st.builds(ColumnRef, column=identifiers)
 
